@@ -1,0 +1,62 @@
+//! Benchmarks for the closed-form allocation algorithms (Algorithms 2.1 and
+//! 2.2) — the per-processor O(m) kernel every participant runs in the
+//! Allocating phase — and the exact-rational certification solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::workloads::heterogeneous_rates;
+use dls_dlt::{exact, optimal, BusParams, ALL_MODELS};
+use std::hint::black_box;
+
+fn bench_fractions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation/fractions");
+    for &m in &[8usize, 64, 512, 4096] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 42);
+        let p = BusParams::new(0.2, w).unwrap();
+        for model in ALL_MODELS {
+            g.bench_with_input(
+                BenchmarkId::new(model.tag(), m),
+                &p,
+                |b, p| b.iter(|| black_box(optimal::fractions(model, p))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_reduced_market(c: &mut Criterion) {
+    // The bonus term needs one reduced-market solve per agent: O(m) solves
+    // of O(m) each — the dominant cost of payment computation.
+    let mut g = c.benchmark_group("allocation/makespan_without_all");
+    for &m in &[8usize, 64, 256] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 43);
+        let p = BusParams::new(0.2, w).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &p, |b, p| {
+            b.iter(|| {
+                for i in 0..m {
+                    black_box(optimal::makespan_without(
+                        dls_dlt::SystemModel::NcpFe,
+                        p,
+                        i,
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation/exact_rational");
+    g.sample_size(20);
+    for &m in &[4usize, 8, 16] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 44);
+        let ep = exact::ExactParams::from_f64(0.25, &w);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &ep, |b, ep| {
+            b.iter(|| black_box(exact::fractions(dls_dlt::SystemModel::NcpFe, ep)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fractions, bench_reduced_market, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Crypto substrate benchmarks: digesting, signing, verifying — the
+//! per-message costs of the protocol's signature envelope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dls_crypto::{rsa, sha256};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/sha256");
+    for &len in &[64usize, 1024, 65536] {
+        let data = vec![0xa5u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, d| {
+            b.iter(|| black_box(sha256::digest(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/rsa");
+    g.sample_size(30);
+    for &bits in &[rsa::MIN_MODULUS_BITS, rsa::DEFAULT_MODULUS_BITS] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let (pk, sk) = rsa::generate(bits, &mut rng).unwrap();
+        let msg = b"bid: P3 reports w = 2.25 units/load";
+        let sig = sk.sign(msg);
+        g.bench_with_input(BenchmarkId::new("sign", bits), &sk, |b, sk| {
+            b.iter(|| black_box(sk.sign(msg)))
+        });
+        g.bench_with_input(BenchmarkId::new("verify", bits), &pk, |b, pk| {
+            b.iter(|| black_box(pk.verify(msg, &sig)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/keygen");
+    g.sample_size(10);
+    g.bench_function("384", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(rsa::generate(384, &mut rng).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify, bench_keygen);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks for the architecture extensions: linear-chain allocation and
+//! the multi-installment executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::workloads::heterogeneous_rates;
+use dls_dlt::{linear, BusParams};
+use dls_netsim::multiround::simulate_multiround;
+use std::hint::black_box;
+
+fn bench_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/linear_fractions");
+    for &m in &[8usize, 64, 512, 4096] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 61);
+        let links = heterogeneous_rates(m - 1, 0.05, 0.5, 62);
+        let p = linear::LinearParams::new(links, w).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &p, |b, p| {
+            b.iter(|| black_box(linear::fractions(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/chain_simulate");
+    for &m in &[8usize, 64, 512] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 63);
+        let links = heterogeneous_rates(m - 1, 0.05, 0.5, 64);
+        let p = linear::LinearParams::new(links, w).unwrap();
+        let a = linear::fractions(&p);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &(p, a), |b, (p, a)| {
+            b.iter(|| black_box(dls_netsim::linear::simulate_chain(p, a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_multiround(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/multiround");
+    let w = heterogeneous_rates(32, 1.0, 6.0, 65);
+    let p = BusParams::new(0.2, w).unwrap();
+    for &r in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(simulate_multiround(&p, r)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_linear, bench_chain_sim, bench_multiround);
+criterion_main!(benches);

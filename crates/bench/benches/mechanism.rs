@@ -1,0 +1,70 @@
+//! Mechanism benchmarks: the DLS-BL payment computation (what every
+//! processor recomputes in the Computing Payments phase) and the
+//! strategyproofness sweep used by experiment E6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::workloads::heterogeneous_rates;
+use dls_dlt::{optimal, BusParams, SystemModel};
+use dls_mechanism::validate::sweep_strategyproof;
+use dls_mechanism::{compute_payments, AgentSpec, Market};
+use std::hint::black_box;
+
+fn bench_compute_payments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanism/compute_payments");
+    for &m in &[4usize, 16, 64, 256] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 31);
+        let p = BusParams::new(0.2, w.clone()).unwrap();
+        let alloc = optimal::fractions(SystemModel::NcpFe, &p);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &(p, alloc, w), |b, (p, a, w)| {
+            b.iter(|| black_box(compute_payments(SystemModel::NcpFe, p, a, w)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_market_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanism/market_run");
+    for &m in &[4usize, 16, 64] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 32);
+        let market = Market::new(
+            SystemModel::NcpFe,
+            0.2,
+            w.iter().map(|&x| AgentSpec::truthful(x)).collect(),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &market, |b, market| {
+            b.iter(|| black_box(market.run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_strategyproof_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanism/strategyproof_sweep");
+    g.sample_size(20);
+    let w = heterogeneous_rates(8, 1.0, 8.0, 33);
+    g.bench_function("m8_full_grid", |b| {
+        b.iter(|| {
+            black_box(
+                sweep_strategyproof(
+                    SystemModel::NcpFe,
+                    0.2,
+                    &w,
+                    3,
+                    &dls_mechanism::validate::default_bid_factors(),
+                    &dls_mechanism::validate::default_exec_factors(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compute_payments,
+    bench_market_run,
+    bench_strategyproof_sweep
+);
+criterion_main!(benches);

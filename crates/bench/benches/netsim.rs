@@ -1,0 +1,48 @@
+//! Discrete-event simulator benchmarks: schedule execution across system
+//! sizes, plus the raw event-queue kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::workloads::heterogeneous_rates;
+use dls_netsim::engine::EventQueue;
+use dls_netsim::{simulate, SessionSpec};
+use dls_dlt::{optimal, BusParams, SystemModel};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/simulate");
+    for &m in &[8usize, 64, 512, 4096] {
+        let w = heterogeneous_rates(m, 1.0, 8.0, 21);
+        let p = BusParams::new(0.2, w).unwrap();
+        let alloc = optimal::fractions(SystemModel::NcpFe, &p);
+        let spec = SessionSpec::new(SystemModel::NcpFe, p, alloc);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &spec, |b, spec| {
+            b.iter(|| black_box(simulate(spec)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/event_queue");
+    for &n in &[1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Interleaved schedule/pop churn.
+                for i in 0..n {
+                    q.schedule(((i * 7919) % n) as f64 + q.now(), i);
+                    if i % 3 == 0 {
+                        black_box(q.pop());
+                    }
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_event_queue);
+criterion_main!(benches);

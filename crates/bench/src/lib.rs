@@ -1,0 +1,2 @@
+//! Shared workload generators for the benchmark harness live in the harness binaries; this lib hosts common helpers.
+pub mod workloads;

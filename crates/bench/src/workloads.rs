@@ -1,0 +1,35 @@
+//! Deterministic workload generators shared by benches and the experiment
+//! harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Heterogeneous processor rates: `m` rates log-uniform in `[lo, hi)`,
+/// deterministic in `seed`.
+pub fn heterogeneous_rates(m: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            lo * (hi / lo).powf(u)
+        })
+        .collect()
+}
+
+/// The fixed 5-processor scenario used to regenerate Figures 1-3.
+pub fn figure_scenario() -> (f64, Vec<f64>) {
+    (0.2, vec![1.0, 1.5, 2.0, 2.5, 3.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_in_range_and_deterministic() {
+        let a = heterogeneous_rates(32, 1.0, 8.0, 9);
+        let b = heterogeneous_rates(32, 1.0, 8.0, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (1.0..8.0).contains(&w)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-readable session reports.
+//!
+//! Renders a [`SessionOutcome`] as a plain-text
+//! briefing: status, per-processor table (bid, blocks, payment split,
+//! fines/rewards, utility), message accounting, and — when processing ran
+//! — the realized Gantt chart.
+
+use crate::SessionOutcome;
+use crate::SessionStatus;
+use std::fmt::Write as _;
+
+/// Renders a full plain-text report for `outcome`.
+pub fn render(outcome: &SessionOutcome) -> String {
+    let mut s = String::new();
+    let status = match &outcome.status {
+        SessionStatus::Completed => "completed".to_string(),
+        SessionStatus::CompletedWithFines => "completed with fines".to_string(),
+        SessionStatus::Aborted { phase } => format!("aborted during {phase:?}"),
+    };
+    let _ = writeln!(s, "session: {status}   fine F = {:.4}", outcome.fine);
+    let _ = writeln!(
+        s,
+        "messages: {} ({} bytes)   ledger conservation error: {:.1e}",
+        outcome.messages.total_messages(),
+        outcome.messages.total_bytes(),
+        outcome.ledger.conservation_error()
+    );
+    let _ = writeln!(
+        s,
+        "{:<5} {:<22} {:>8} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "proc", "behaviour", "bid", "blocks", "comp", "bonus", "fined", "reward", "utility"
+    );
+    for (i, p) in outcome.processors.iter().enumerate() {
+        let (comp, bonus) = p
+            .payment
+            .map(|q| (format!("{:.4}", q.compensation), format!("{:.4}", q.bonus)))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        let _ = writeln!(
+            s,
+            "{:<5} {:<22} {:>8} {:>7} {:>9} {:>9} {:>8.3} {:>8.3} {:>9.4}",
+            format!("P{}", i + 1),
+            p.config.behavior.to_string(),
+            p.bid.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into()),
+            p.blocks_granted,
+            comp,
+            bonus,
+            p.fined,
+            p.rewarded,
+            p.utility
+        );
+    }
+    if let (Some(tl), Some(mk)) = (&outcome.timeline, outcome.makespan) {
+        let _ = writeln!(s, "realized makespan: {mk:.4}");
+        let _ = write!(s, "{}", crate::netsim::gantt::render_default(tl));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Behavior, Session};
+
+    #[test]
+    fn report_for_completed_session() {
+        let out = Session::ncp_fe(0.2)
+            .worker(1.0)
+            .worker(2.0)
+            .worker(3.0)
+            .seed(1)
+            .run()
+            .unwrap();
+        let r = render(&out);
+        assert!(r.contains("session: completed"));
+        assert!(r.contains("P1"));
+        assert!(r.contains("P3"));
+        assert!(r.contains("realized makespan"));
+        assert!(r.contains("Comm"));
+        // One header + 3 processors at minimum.
+        assert!(r.lines().count() >= 8);
+    }
+
+    #[test]
+    fn report_for_aborted_session() {
+        let out = Session::ncp_fe(0.2)
+            .worker(1.0)
+            .worker_with(2.0, Behavior::EquivocateBids { factor: 2.0 })
+            .worker(3.0)
+            .seed(1)
+            .run()
+            .unwrap();
+        let r = render(&out);
+        assert!(r.contains("aborted during Bidding"));
+        assert!(!r.contains("realized makespan"), "no timeline after abort");
+        assert!(r.contains("equivocate"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Public-key infrastructure and signed-message envelopes.
+//!
+//! Implements the paper's notation directly:
+//!
+//! * `SK_β` — the private key of participant β ([`KeyPair`]),
+//! * `SIG_β(m)` — β's signature over canonical bytes of `m`,
+//! * `S_β(m) = (m, SIG_β(m))` — the signed message ([`Signed`]),
+//! * the PKI that registers public keys under participant identities
+//!   ([`Registry`]).
+//!
+//! [`Signed`] envelopes are the *evidence objects* the referee consumes: two
+//! verified envelopes from the same signer with the same context but
+//! different bodies constitute proof of equivocation (used in the Bidding
+//! phase of DLS-BL-NCP, §4).
+
+use crate::canon;
+use crate::rsa::{self, PublicKey, RawSignature, SecretKey};
+use rand::Rng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from signing or verifying envelopes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The claimed signer has no key registered in the PKI.
+    UnknownSigner(String),
+    /// The signature does not verify under the signer's registered key.
+    BadSignature {
+        /// Claimed signer identity.
+        signer: String,
+    },
+    /// The body could not be canonically encoded.
+    Encoding(String),
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::UnknownSigner(who) => write!(f, "no key registered for {who:?}"),
+            SignatureError::BadSignature { signer } => {
+                write!(f, "signature verification failed for {signer:?}")
+            }
+            SignatureError::Encoding(e) => write!(f, "cannot encode body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A participant's key pair plus its registered identity.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    identity: String,
+    public: PublicKey,
+    secret: SecretKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair for `identity` with the given modulus size.
+    pub fn generate(
+        identity: impl Into<String>,
+        modulus_bits: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, rsa::RsaError> {
+        let (public, secret) = rsa::generate(modulus_bits, rng)?;
+        Ok(KeyPair {
+            identity: identity.into(),
+            public,
+            secret,
+        })
+    }
+
+    /// The registered identity.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Signs `body`, producing the `S_β(m)` envelope.
+    pub fn sign<T: Serialize>(&self, body: T) -> Result<Signed<T>, SignatureError> {
+        let bytes =
+            canon::to_bytes(&body).map_err(|e| SignatureError::Encoding(e.to_string()))?;
+        let signature = self.secret.sign(&bytes);
+        Ok(Signed {
+            body,
+            signer: self.identity.clone(),
+            signature,
+        })
+    }
+}
+
+/// A signed message `S_β(m) = (m, SIG_β(m))`.
+///
+/// The body is readable without verification (messages travel on an
+/// untrusted channel and receivers *must* call [`Signed::verify`] before
+/// acting — the protocol layer enforces this by only exposing verified
+/// bodies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signed<T> {
+    body: T,
+    signer: String,
+    signature: RawSignature,
+}
+
+// Envelopes are themselves serializable so they can be nested inside other
+// signed bodies (e.g. user-signed blocks inside an originator-signed grant).
+impl<T: Serialize> Serialize for Signed<T> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("Signed", 3)?;
+        s.serialize_field("body", &self.body)?;
+        s.serialize_field("signer", &self.signer)?;
+        s.serialize_field("signature", &self.signature.0)?;
+        s.end()
+    }
+}
+
+impl<T: Serialize> Signed<T> {
+    /// The claimed signer identity (unverified).
+    pub fn signer(&self) -> &str {
+        &self.signer
+    }
+
+    /// The body **without verification** — only for diagnostics/evidence
+    /// display; use [`Signed::verify`] before trusting contents.
+    pub fn body_unverified(&self) -> &T {
+        &self.body
+    }
+
+    /// The raw signature bytes.
+    pub fn signature(&self) -> &RawSignature {
+        &self.signature
+    }
+
+    /// Verifies against the registry and returns the body on success.
+    pub fn verify<'a>(&'a self, registry: &Registry) -> Result<&'a T, SignatureError> {
+        let key = registry
+            .lookup(&self.signer)
+            .ok_or_else(|| SignatureError::UnknownSigner(self.signer.clone()))?;
+        let bytes =
+            canon::to_bytes(&self.body).map_err(|e| SignatureError::Encoding(e.to_string()))?;
+        if key.verify(&bytes, &self.signature) {
+            Ok(&self.body)
+        } else {
+            Err(SignatureError::BadSignature {
+                signer: self.signer.clone(),
+            })
+        }
+    }
+
+    /// Consumes the envelope, returning the verified body.
+    pub fn into_verified(self, registry: &Registry) -> Result<T, SignatureError> {
+        self.verify(registry)?;
+        Ok(self.body)
+    }
+
+    /// Forges an envelope with an arbitrary signature — **test/attack
+    /// harness only**, used by deviant-strategy simulations to prove that
+    /// forged messages are rejected.
+    pub fn forge(body: T, signer: impl Into<String>, signature: Vec<u8>) -> Self {
+        Signed {
+            body,
+            signer: signer.into(),
+            signature: RawSignature(signature),
+        }
+    }
+
+    /// Maps the body while *preserving* the (now almost certainly invalid)
+    /// signature. Models in-flight tampering for fault-injection tests.
+    pub fn tamper<U>(self, f: impl FnOnce(T) -> U) -> Signed<U> {
+        Signed {
+            body: f(self.body),
+            signer: self.signer,
+            signature: self.signature,
+        }
+    }
+}
+
+/// The PKI: identity → public key. Cheap to clone (shared map) so every
+/// processor thread can hold one.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    keys: Arc<BTreeMap<String, PublicKey>>,
+}
+
+impl Registry {
+    /// Builds a registry from participants' key pairs.
+    pub fn from_keypairs<'a>(pairs: impl IntoIterator<Item = &'a KeyPair>) -> Self {
+        let keys = pairs
+            .into_iter()
+            .map(|kp| (kp.identity.clone(), kp.public.clone()))
+            .collect();
+        Registry {
+            keys: Arc::new(keys),
+        }
+    }
+
+    /// Looks up the public key registered for `identity`.
+    pub fn lookup(&self, identity: &str) -> Option<&PublicKey> {
+        self.keys.get(identity)
+    }
+
+    /// Number of registered identities.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff no identities are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Checks whether two envelopes constitute *evidence of equivocation*: both
+/// verify under the same signer's registered key but have different bodies.
+///
+/// This is the predicate the referee applies during the Bidding phase: "If
+/// `P_j` receives multiple authenticated messages from `P_i`, it signals the
+/// referee providing the messages as evidence of cheating" (§4).
+pub fn is_equivocation<T: Serialize + PartialEq>(
+    a: &Signed<T>,
+    b: &Signed<T>,
+    registry: &Registry,
+) -> bool {
+    a.signer == b.signer
+        && a.verify(registry).is_ok()
+        && b.verify(registry).is_ok()
+        && a.body != b.body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::MIN_MODULUS_BITS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use serde::Serialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize)]
+    struct Bid {
+        processor: String,
+        w: f64,
+    }
+
+    fn setup() -> (KeyPair, KeyPair, Registry) {
+        let mut rng = StdRng::seed_from_u64(123);
+        let kp1 = KeyPair::generate("P1", MIN_MODULUS_BITS, &mut rng).unwrap();
+        let kp2 = KeyPair::generate("P2", MIN_MODULUS_BITS, &mut rng).unwrap();
+        let reg = Registry::from_keypairs([&kp1, &kp2]);
+        (kp1, kp2, reg)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (kp1, _, reg) = setup();
+        let signed = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 1.5,
+            })
+            .unwrap();
+        let body = signed.verify(&reg).unwrap();
+        assert_eq!(body.w, 1.5);
+        assert_eq!(signed.signer(), "P1");
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (kp1, _, _) = setup();
+        let reg = Registry::default();
+        let signed = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 1.5,
+            })
+            .unwrap();
+        assert!(matches!(
+            signed.verify(&reg),
+            Err(SignatureError::UnknownSigner(_))
+        ));
+    }
+
+    #[test]
+    fn cross_signer_forgery_rejected() {
+        let (kp1, _, reg) = setup();
+        // kp1 signs but claims to be P2.
+        let mut signed = kp1
+            .sign(Bid {
+                processor: "P2".into(),
+                w: 0.5,
+            })
+            .unwrap();
+        signed.signer = "P2".into();
+        assert!(matches!(
+            signed.verify(&reg),
+            Err(SignatureError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let (kp1, _, reg) = setup();
+        let signed = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 1.5,
+            })
+            .unwrap();
+        let tampered = signed.tamper(|mut b| {
+            b.w = 0.1;
+            b
+        });
+        assert!(tampered.verify(&reg).is_err());
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (_, _, reg) = setup();
+        let forged = Signed::forge(
+            Bid {
+                processor: "P1".into(),
+                w: 9.9,
+            },
+            "P1",
+            vec![0xab; 48],
+        );
+        assert!(forged.verify(&reg).is_err());
+    }
+
+    #[test]
+    fn equivocation_detected() {
+        let (kp1, _, reg) = setup();
+        let a = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 1.0,
+            })
+            .unwrap();
+        let b = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 2.0,
+            })
+            .unwrap();
+        assert!(is_equivocation(&a, &b, &reg));
+        // Same body twice is NOT equivocation.
+        assert!(!is_equivocation(&a, &a.clone(), &reg));
+    }
+
+    #[test]
+    fn equivocation_requires_valid_signatures() {
+        let (kp1, _, reg) = setup();
+        let a = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 1.0,
+            })
+            .unwrap();
+        let forged = Signed::forge(
+            Bid {
+                processor: "P1".into(),
+                w: 2.0,
+            },
+            "P1",
+            vec![0u8; 48],
+        );
+        // A forged second message must not frame P1 for equivocation
+        // (Lemma 5.2: fines only for actual deviation).
+        assert!(!is_equivocation(&a, &forged, &reg));
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let (kp1, kp2, reg) = setup();
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.lookup("P1"), Some(kp1.public()));
+        assert_eq!(reg.lookup("P2"), Some(kp2.public()));
+        assert_eq!(reg.lookup("P3"), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Primality testing and prime generation for the RSA substrate.
+
+use dls_num::{modmath, BigUint};
+use rand::Rng;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u32; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Deterministic Miller–Rabin witness set, sufficient for all
+/// `n < 3.317e24` (Sorenson & Webster); used in addition to random bases so
+/// small inputs are decided *exactly*.
+const DETERMINISTIC_BASES: [u32; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+/// Number of random Miller–Rabin rounds for large candidates
+/// (error probability ≤ 4^-24 per candidate).
+const RANDOM_ROUNDS: usize = 24;
+
+/// Returns `true` iff `n` is (very probably) prime.
+///
+/// Exact for `n < 3.3e24` via a deterministic witness set; probabilistic
+/// (error ≤ 4⁻²⁴) above that.
+pub fn is_prime(n: &BigUint, rng: &mut impl Rng) -> bool {
+    if n < &BigUint::from(2u32) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let bp = BigUint::from(p);
+        if n == &bp {
+            return true;
+        }
+        if (n % &bp).is_zero() {
+            return false;
+        }
+    }
+
+    // n-1 = d · 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let s = trailing_zeros(&n_minus_1);
+    let d = &n_minus_1 >> s;
+
+    let deterministic = n.bits() <= 82; // 3.3e24 < 2^82
+    let witnesses: Vec<BigUint> = if deterministic {
+        DETERMINISTIC_BASES.iter().map(|&b| BigUint::from(b)).collect()
+    } else {
+        (0..RANDOM_ROUNDS)
+            .map(|_| random_below(rng, &(n - &BigUint::from(3u32))) + BigUint::from(2u32))
+            .collect()
+    };
+
+    'witness: for a in witnesses {
+        let a = &a % n;
+        if a.is_zero() || a.is_one() {
+            continue;
+        }
+        let mut x = modmath::pow_mod(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = modmath::mul_mod(&x, &x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn trailing_zeros(n: &BigUint) -> usize {
+    debug_assert!(!n.is_zero());
+    let mut i = 0;
+    while !n.bit(i) {
+        i += 1;
+    }
+    i
+}
+
+/// Uniform random value in `[0, bound)`.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_below(rng: &mut impl Rng, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "empty range");
+    let bits = bound.bits();
+    loop {
+        let v = random_bits(rng, bits);
+        if &v < bound {
+            return v;
+        }
+    }
+}
+
+/// Random value with exactly `bits` random low bits (top bits not forced).
+pub fn random_bits(rng: &mut impl Rng, bits: usize) -> BigUint {
+    let limbs = bits.div_ceil(32);
+    let mut v: Vec<u32> = (0..limbs).map(|_| rng.gen()).collect();
+    let extra = limbs * 32 - bits;
+    if extra > 0 {
+        if let Some(top) = v.last_mut() {
+            *top &= u32::MAX >> extra;
+        }
+    }
+    BigUint::from_limbs_le(v)
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// Top two bits are forced to 1 (so the product of two such primes has the
+/// full `2·bits` length — the usual RSA convention) and the low bit is 1.
+///
+/// # Panics
+/// Panics if `bits < 8`.
+pub fn gen_prime(bits: usize, rng: &mut impl Rng) -> BigUint {
+    assert!(bits >= 8, "prime too small to be useful");
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(bits - 1, true);
+        candidate.set_bit(bits - 2, true);
+        candidate.set_bit(0, true);
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in SMALL_PRIMES {
+            assert!(is_prime(&BigUint::from(p), &mut r), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u32, 1, 4, 6, 8, 9, 100, 561, 1105, 1729, 2465, 6601, 8911] {
+            // includes the first Carmichael numbers
+            assert!(!is_prime(&BigUint::from(c), &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        let mut r = rng();
+        // Mersenne primes 2^61-1, 2^89-1, 2^107-1.
+        for e in [61usize, 89, 107] {
+            let p = &(BigUint::one() << e) - &BigUint::one();
+            assert!(is_prime(&p, &mut r), "2^{e}-1");
+        }
+        // 2^67-1 is famously composite (193707721 × 761838257287).
+        let c = &(BigUint::one() << 67usize) - &BigUint::one();
+        assert!(!is_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn known_rsa_style_semiprime_rejected() {
+        let mut r = rng();
+        let p = &(BigUint::one() << 61usize) - &BigUint::one();
+        let q = &(BigUint::one() << 89usize) - &BigUint::one();
+        assert!(!is_prime(&(&p * &q), &mut r));
+    }
+
+    #[test]
+    fn gen_prime_properties() {
+        let mut r = rng();
+        for bits in [32usize, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits, "requested {bits} bits");
+            assert!(p.bit(bits - 2), "top-2 bit forced");
+            assert!(!p.is_even());
+            assert!(is_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from(1000u32);
+        for _ in 0..200 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_bounded() {
+        let mut r = rng();
+        for bits in [1usize, 31, 32, 33, 100] {
+            for _ in 0..20 {
+                assert!(random_bits(&mut r, bits).bits() <= bits);
+            }
+        }
+    }
+}

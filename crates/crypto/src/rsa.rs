@@ -1,0 +1,232 @@
+//! Textbook RSA signatures over SHA-256 digests.
+//!
+//! **Simulation-grade.** The mechanism needs signatures that are unforgeable
+//! *within the simulation* and verifiable by third parties (the referee uses
+//! them as evidence of equivocation, Lemma 5.2). It does not need resistance
+//! to real-world adversaries, so we use small default moduli for speed and a
+//! simplified EMSA-PKCS#1-v1.5 padding (no ASN.1 `DigestInfo` prefix).
+
+use crate::sha256::{self, Digest};
+use dls_num::{gcd, modmath, BigUint};
+use rand::Rng;
+use std::fmt;
+
+/// Default modulus size in bits. Small on purpose: sessions create one key
+/// pair per processor and property tests create many.
+pub const DEFAULT_MODULUS_BITS: usize = 512;
+
+/// Smallest supported modulus: padding needs `3 + 8 + 32` bytes minimum.
+pub const MIN_MODULUS_BITS: usize = 384;
+
+/// Fixed public exponent (F4).
+const PUBLIC_EXPONENT: u32 = 65_537;
+
+/// Errors from key generation and signing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Requested modulus below [`MIN_MODULUS_BITS`].
+    ModulusTooSmall {
+        /// Requested bit size.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::ModulusTooSmall { requested } => write!(
+                f,
+                "modulus of {requested} bits is below the minimum of {MIN_MODULUS_BITS}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// RSA secret key `(n, d)`.
+#[derive(Clone)]
+pub struct SecretKey {
+    n: BigUint,
+    d: BigUint,
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the private exponent.
+        write!(f, "SecretKey(n={} bits)", self.n.bits())
+    }
+}
+
+/// A detached signature (big-endian bytes of `s = m^d mod n`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RawSignature(pub Vec<u8>);
+
+impl PublicKey {
+    /// Modulus size in bytes (`k` in PKCS#1 terms).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// Verifies `sig` over `message` (hashed internally with SHA-256).
+    pub fn verify(&self, message: &[u8], sig: &RawSignature) -> bool {
+        self.verify_digest(&sha256::digest(message), sig)
+    }
+
+    /// Verifies `sig` over a precomputed digest.
+    pub fn verify_digest(&self, digest: &Digest, sig: &RawSignature) -> bool {
+        let s = BigUint::from_bytes_be(&sig.0);
+        if s >= self.n {
+            return false;
+        }
+        let m = modmath::pow_mod(&s, &self.e, &self.n);
+        let expected = pad_digest(digest, self.modulus_len());
+        m == BigUint::from_bytes_be(&expected)
+    }
+}
+
+impl SecretKey {
+    /// Signs `message` (hashed internally with SHA-256).
+    pub fn sign(&self, message: &[u8]) -> RawSignature {
+        self.sign_digest(&sha256::digest(message))
+    }
+
+    /// Signs a precomputed digest.
+    pub fn sign_digest(&self, digest: &Digest) -> RawSignature {
+        let k = self.n.bits().div_ceil(8);
+        let m = BigUint::from_bytes_be(&pad_digest(digest, k));
+        debug_assert!(m < self.n);
+        let s = modmath::pow_mod(&m, &self.d, &self.n);
+        RawSignature(s.to_bytes_be())
+    }
+}
+
+/// Simplified EMSA-PKCS#1-v1.5: `0x00 0x01 FF…FF 0x00 || digest`,
+/// `k` bytes total.
+fn pad_digest(digest: &Digest, k: usize) -> Vec<u8> {
+    assert!(k >= digest.len() + 11, "modulus too small for padding");
+    let mut out = Vec::with_capacity(k);
+    out.push(0x00);
+    out.push(0x01);
+    out.resize(k - digest.len() - 1, 0xff);
+    out.push(0x00);
+    out.extend_from_slice(digest);
+    out
+}
+
+/// Generates an RSA key pair with an `bits`-bit modulus.
+pub fn generate(bits: usize, rng: &mut impl Rng) -> Result<(PublicKey, SecretKey), RsaError> {
+    if bits < MIN_MODULUS_BITS {
+        return Err(RsaError::ModulusTooSmall { requested: bits });
+    }
+    let e = BigUint::from(PUBLIC_EXPONENT);
+    loop {
+        let p = crate::prime::gen_prime(bits / 2, rng);
+        let q = crate::prime::gen_prime(bits - bits / 2, rng);
+        if p == q {
+            continue;
+        }
+        let n = &p * &q;
+        let phi = &(&p - &BigUint::one()) * &(&q - &BigUint::one());
+        if !gcd(&e, &phi).is_one() {
+            continue;
+        }
+        let d = modmath::inv_mod(&e, &phi).expect("coprime by check above");
+        return Ok((
+            PublicKey { n: n.clone(), e },
+            SecretKey { n, d },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> (PublicKey, SecretKey) {
+        let mut rng = StdRng::seed_from_u64(7);
+        generate(MIN_MODULUS_BITS, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (pk, sk) = keypair();
+        let msg = b"bid: P3 offers w=2.25";
+        let sig = sk.sign(msg);
+        assert!(pk.verify(msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (pk, sk) = keypair();
+        let sig = sk.sign(b"alpha = 0.25");
+        assert!(!pk.verify(b"alpha = 0.26", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (pk, sk) = keypair();
+        let mut sig = sk.sign(b"payload");
+        sig.0[0] ^= 0x40;
+        assert!(!pk.verify(b"payload", &sig));
+    }
+
+    #[test]
+    fn signature_from_wrong_key_rejected() {
+        let (pk, _) = keypair();
+        let mut rng = StdRng::seed_from_u64(99);
+        let (_, other_sk) = generate(MIN_MODULUS_BITS, &mut rng).unwrap();
+        let sig = other_sk.sign(b"payload");
+        assert!(!pk.verify(b"payload", &sig));
+    }
+
+    #[test]
+    fn oversized_signature_value_rejected() {
+        let (pk, _) = keypair();
+        // s >= n must be rejected without panicking.
+        let huge = RawSignature(vec![0xff; pk.modulus_len() + 4]);
+        assert!(!pk.verify(b"x", &huge));
+    }
+
+    #[test]
+    fn too_small_modulus_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            generate(128, &mut rng),
+            Err(RsaError::ModulusTooSmall { requested: 128 })
+        ));
+    }
+
+    #[test]
+    fn padding_shape() {
+        let d = sha256::digest(b"abc");
+        let padded = pad_digest(&d, 48);
+        assert_eq!(padded.len(), 48);
+        assert_eq!(&padded[..2], &[0x00, 0x01]);
+        assert_eq!(padded[48 - 33], 0x00);
+        assert_eq!(&padded[48 - 32..], &d);
+        assert!(padded[2..48 - 33].iter().all(|&b| b == 0xff));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let (_, sk) = keypair();
+        assert_eq!(sk.sign(b"same"), sk.sign(b"same"));
+    }
+
+    #[test]
+    fn secret_key_debug_redacts() {
+        let (_, sk) = keypair();
+        let dbg = format!("{sk:?}");
+        assert!(!dbg.contains(&sk.d.to_string()));
+    }
+}

@@ -1,0 +1,195 @@
+//! Diagnostics for allocations: optimality residuals, utilization, and
+//! empirical checks of Theorems 2.1 and 2.2.
+
+use crate::model::{finish_times, makespan, BusParams, SystemModel};
+use crate::optimal;
+
+/// Max−min spread of the finishing times under `alloc` — zero (up to
+/// rounding) iff the allocation satisfies the Theorem 2.1 optimality
+/// condition.
+pub fn equal_finish_residual(model: SystemModel, params: &BusParams, alloc: &[f64]) -> f64 {
+    let t = finish_times(model, params, alloc);
+    let max = t.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = t.iter().cloned().fold(f64::INFINITY, f64::min);
+    max - min
+}
+
+/// Mean processor utilization under `alloc`: computing time divided by
+/// session makespan, averaged over processors. The optimal allocation
+/// maximizes this for a fixed parameter set.
+pub fn mean_utilization(model: SystemModel, params: &BusParams, alloc: &[f64]) -> f64 {
+    let total = makespan(model, params, alloc);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let w = params.w();
+    let busy: f64 = alloc.iter().zip(w).map(|(a, w)| a * w).sum();
+    busy / (total * params.m() as f64)
+}
+
+/// Relative makespan excess of `alloc` over the optimal allocation:
+/// `T(alloc)/T(α*) − 1 ≥ 0`.
+pub fn suboptimality(model: SystemModel, params: &BusParams, alloc: &[f64]) -> f64 {
+    makespan(model, params, alloc) / optimal::optimal_makespan(model, params) - 1.0
+}
+
+/// Empirical Theorem 2.2 check: relative spread of the optimal makespan
+/// across the processor orders `perms` (each a permutation of `0..m`).
+///
+/// For the NCP models the originator position is pinned by the model, so
+/// callers should keep the originator fixed in every permutation —
+/// [`originator_fixed_perms`] generates suitable ones.
+pub fn order_invariance_spread(
+    model: SystemModel,
+    params: &BusParams,
+    perms: &[Vec<usize>],
+) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for perm in perms {
+        let t = optimal::optimal_makespan(model, &params.permuted(perm));
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    if lo == f64::INFINITY {
+        return 0.0;
+    }
+    (hi - lo) / lo
+}
+
+/// All cyclic shifts of the processor order that keep the model's
+/// originator in its defining position (all shifts for CP, which has an
+/// external originator). A cheap, deterministic sample of the permutation
+/// group for order-invariance checks.
+pub fn originator_fixed_perms(model: SystemModel, m: usize) -> Vec<Vec<usize>> {
+    let mut perms = Vec::new();
+    match model.originator(m) {
+        None => {
+            for s in 0..m {
+                perms.push((0..m).map(|i| (i + s) % m).collect());
+            }
+        }
+        Some(orig) => {
+            let others: Vec<usize> = (0..m).filter(|&i| i != orig).collect();
+            let n = others.len().max(1);
+            for s in 0..n {
+                let mut p = Vec::with_capacity(m);
+                let rotated: Vec<usize> =
+                    (0..others.len()).map(|i| others[(i + s) % n]).collect();
+                let mut it = rotated.into_iter();
+                for i in 0..m {
+                    if i == orig {
+                        p.push(orig);
+                    } else {
+                        p.push(it.next().expect("length matches"));
+                    }
+                }
+                perms.push(p);
+            }
+        }
+    }
+    perms
+}
+
+/// Speedup of the `m`-processor optimal schedule over the best single
+/// processor running the whole load alone.
+pub fn speedup(model: SystemModel, params: &BusParams) -> f64 {
+    let solo = params
+        .w()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    solo / optimal::optimal_makespan(model, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ALL_MODELS;
+
+    fn params() -> BusParams {
+        BusParams::new(0.2, vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn optimal_has_zero_residual() {
+        for model in ALL_MODELS {
+            let a = optimal::fractions(model, &params());
+            assert!(equal_finish_residual(model, &params(), &a) < 1e-12, "{model}");
+        }
+    }
+
+    #[test]
+    fn uniform_allocation_has_positive_residual() {
+        let a = vec![0.25; 4];
+        for model in ALL_MODELS {
+            assert!(equal_finish_residual(model, &params(), &a) > 0.01, "{model}");
+        }
+    }
+
+    #[test]
+    fn suboptimality_nonnegative_and_zero_at_optimum() {
+        for model in ALL_MODELS {
+            let a = optimal::fractions(model, &params());
+            assert!(suboptimality(model, &params(), &a).abs() < 1e-12, "{model}");
+            let uniform = vec![0.25; 4];
+            assert!(suboptimality(model, &params(), &uniform) > 0.0, "{model}");
+        }
+    }
+
+    #[test]
+    fn order_invariance_holds_at_optimum() {
+        for model in ALL_MODELS {
+            let perms = originator_fixed_perms(model, 4);
+            assert!(perms.len() >= 3, "{model}");
+            let spread = order_invariance_spread(model, &params(), &perms);
+            assert!(spread < 1e-12, "{model}: spread {spread}");
+        }
+    }
+
+    #[test]
+    fn perms_are_permutations_and_fix_originator() {
+        for model in ALL_MODELS {
+            for perm in originator_fixed_perms(model, 5) {
+                let mut sorted = perm.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2, 3, 4], "{model}");
+                if let Some(orig) = model.originator(5) {
+                    assert_eq!(perm[orig], orig, "{model}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for model in ALL_MODELS {
+            let a = optimal::fractions(model, &params());
+            let u = mean_utilization(model, &params(), &a);
+            assert!(u > 0.0 && u <= 1.0, "{model}: {u}");
+        }
+        assert_eq!(
+            mean_utilization(SystemModel::Cp, &params(), &[0.0; 4]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn speedup_above_one_with_cheap_bus() {
+        let p = BusParams::new(0.01, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        for model in ALL_MODELS {
+            let s = speedup(model, &p);
+            assert!(s > 2.0 && s <= 4.0, "{model}: {s}");
+        }
+    }
+
+    #[test]
+    fn speedup_collapses_with_expensive_bus() {
+        // When z >> w, shipping load costs more than computing it locally;
+        // the equal-finish optimum still beats one processor only barely.
+        let p = BusParams::new(50.0, vec![1.0, 1.0]).unwrap();
+        for model in ALL_MODELS {
+            assert!(speedup(model, &p) < 1.1, "{model}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the DLT core: Theorems 2.1 and 2.2 and solver
+//! cross-certification on random parameter sets.
+
+use dls_dlt::{
+    diagnostics, exact, finish_times, makespan, optimal, BusParams, SystemModel, ALL_MODELS,
+};
+use proptest::prelude::*;
+
+/// Random parameter sets: 1–12 processors, rates spanning two orders of
+/// magnitude, bus from free to dominant. Not necessarily in the DLT regime.
+fn arb_params() -> impl Strategy<Value = BusParams> {
+    (
+        0.0f64..5.0,
+        prop::collection::vec(0.1f64..10.0, 1..12),
+    )
+        .prop_map(|(z, w)| BusParams::new(z, w).unwrap())
+}
+
+/// Parameter sets restricted to the classical DLT regime `z < min(w)`,
+/// where the §2 optimality theorems hold globally (see
+/// `BusParams::in_dlt_regime`).
+fn arb_regime_params() -> impl Strategy<Value = BusParams> {
+    (
+        0.0f64..0.95,
+        prop::collection::vec(1.0f64..10.0, 1..12),
+    )
+        .prop_map(|(zfrac, w)| {
+            let min_w = w.iter().cloned().fold(f64::INFINITY, f64::min);
+            let p = BusParams::new(zfrac * min_w, w).unwrap();
+            assert!(p.in_dlt_regime());
+            p
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = SystemModel> {
+    prop::sample::select(ALL_MODELS.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn fractions_form_a_distribution(model in arb_model(), p in arb_params()) {
+        let a = optimal::fractions(model, &p);
+        prop_assert_eq!(a.len(), p.m());
+        prop_assert!(a.iter().all(|&x| x > 0.0 && x <= 1.0 + 1e-12));
+        prop_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_2_1_equal_finish(model in arb_model(), p in arb_params()) {
+        let a = optimal::fractions(model, &p);
+        let t = makespan(model, &p, &a);
+        let residual = diagnostics::equal_finish_residual(model, &p, &a);
+        prop_assert!(residual <= t * 1e-9, "residual {} vs makespan {}", residual, t);
+    }
+
+    #[test]
+    fn theorem_2_1_optimality(model in arb_model(), p in arb_regime_params(),
+                              noise_pool in prop::collection::vec(0.01f64..1.0, 12)) {
+        // Any other distribution is no better than the equal-finish one.
+        let noise = &noise_pool[..p.m()];
+        let a_opt = optimal::fractions(model, &p);
+        let t_opt = makespan(model, &p, &a_opt);
+        let total: f64 = noise.iter().sum();
+        let a_other: Vec<f64> = noise.iter().map(|x| x / total).collect();
+        let t_other = makespan(model, &p, &a_other);
+        prop_assert!(t_other >= t_opt * (1.0 - 1e-9),
+            "other {} beat optimal {}", t_other, t_opt);
+    }
+
+    #[test]
+    fn theorem_2_2_order_invariance(model in arb_model(), p in arb_params()) {
+        let perms = diagnostics::originator_fixed_perms(model, p.m());
+        let spread = diagnostics::order_invariance_spread(model, &p, &perms);
+        prop_assert!(spread < 1e-9, "spread {}", spread);
+    }
+
+    #[test]
+    fn exact_certifies_f64(model in arb_model(), p in arb_params()) {
+        let ep = exact::ExactParams::from_f64(p.z(), p.w());
+        let af = optimal::fractions(model, &p);
+        let ae = exact::fractions(model, &ep);
+        for (f, e) in af.iter().zip(&ae) {
+            prop_assert!((f - e.to_f64()).abs() < 1e-9, "{} vs {}", f, e.to_f64());
+        }
+        // Exact finish times are *exactly* equal.
+        let te = exact::finish_times(model, &ep, &ae);
+        for t in &te {
+            prop_assert_eq!(t, &te[0]);
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_rates(model in arb_model(), p in arb_regime_params(),
+                                  idx in any::<prop::sample::Index>(),
+                                  factor in 1.05f64..4.0) {
+        // Slowing any processor weakly increases the optimal makespan.
+        let i = idx.index(p.m());
+        let slower = p.with_rate(i, p.w()[i] * factor);
+        let t0 = optimal::optimal_makespan(model, &p);
+        let t1 = optimal::optimal_makespan(model, &slower);
+        prop_assert!(t1 >= t0 * (1.0 - 1e-12), "{} -> {}", t0, t1);
+    }
+
+    #[test]
+    fn reduced_market_is_slower(model in arb_model(), p in arb_regime_params(),
+                                idx in any::<prop::sample::Index>()) {
+        // Removing a *worker* always hurts. Removing the NCP originator is a
+        // different counterfactual (the originator role migrates, and the
+        // makespan can drop for a slow NCP-NFE originator) — see the
+        // `removing_nfe_originator_can_speed_up` regression test.
+        prop_assume!(p.m() >= 2);
+        let i = idx.index(p.m());
+        prop_assume!(model.originator(p.m()) != Some(i));
+        let full = optimal::optimal_makespan(model, &p);
+        let reduced = optimal::makespan_without(model, &p, i).unwrap();
+        prop_assert!(reduced >= full * (1.0 - 1e-12),
+            "removing P{} sped things up: {} -> {}", i + 1, full, reduced);
+    }
+
+    #[test]
+    fn out_of_regime_flag_matches_definition(p in arb_params()) {
+        let min_w = p.w().iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(p.in_dlt_regime(), p.z() < min_w);
+    }
+
+    // ---------------- Linear-network extension ----------------
+
+    #[test]
+    fn linear_fractions_form_distribution(
+        w in prop::collection::vec(0.2f64..8.0, 1..10),
+        zs in prop::collection::vec(0.0f64..3.0, 9),
+    ) {
+        let links = zs[..w.len() - 1].to_vec();
+        let p = dls_dlt::linear::LinearParams::new(links, w).unwrap();
+        let a = dls_dlt::linear::fractions(&p);
+        prop_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(a.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn linear_equal_finish_at_optimum(
+        w in prop::collection::vec(0.2f64..8.0, 1..10),
+        zs in prop::collection::vec(0.0f64..3.0, 9),
+    ) {
+        let links = zs[..w.len() - 1].to_vec();
+        let p = dls_dlt::linear::LinearParams::new(links, w).unwrap();
+        let a = dls_dlt::linear::fractions(&p);
+        let t = dls_dlt::linear::finish_times(&p, &a);
+        let spread = t.iter().cloned().fold(f64::MIN, f64::max)
+            - t.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(spread <= t[0] * 1e-9, "spread {}", spread);
+    }
+
+    #[test]
+    fn linear_chain_never_beats_equal_rate_bus(
+        w in prop::collection::vec(0.5f64..8.0, 2..8),
+        z in 0.0f64..2.0,
+    ) {
+        // Per-hop forwarding can only add latency relative to a single
+        // shared bus with the same rate and an FE originator.
+        let chain = dls_dlt::linear::LinearParams::uniform_links(z, w.clone()).unwrap();
+        let bus = BusParams::new(z, w).unwrap();
+        let t_chain = dls_dlt::linear::optimal_makespan(&chain);
+        let t_bus = optimal::optimal_makespan(SystemModel::NcpFe, &bus);
+        prop_assert!(t_chain >= t_bus - 1e-9, "{} < {}", t_chain, t_bus);
+    }
+
+    #[test]
+    fn finish_times_scale_linearly(model in arb_model(), p in arb_params(), scale in 0.1f64..3.0) {
+        // T_i is linear in α: scaling the whole allocation scales all times.
+        let a = optimal::fractions(model, &p);
+        let scaled: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        let t1 = finish_times(model, &p, &a);
+        let t2 = finish_times(model, &p, &scaled);
+        for (x, y) in t1.iter().zip(&t2) {
+            prop_assert!((y - x * scale).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact-rational DLS-BL payments — certifies the f64 payment computation
+//! the same way `dls-dlt::exact` certifies the allocation solver.
+//!
+//! Payment disputes are adjudicated numerically (the referee compares
+//! vectors within a tolerance); this module bounds the legitimate numeric
+//! disagreement by computing `C_i` and `B_i` over [`Rational`]s, where the
+//! compensation-cancels-valuation identity `U_i = B_i` holds *exactly*.
+
+use dls_dlt::exact::{self, ExactParams};
+use dls_dlt::SystemModel;
+use dls_num::Rational;
+
+/// One exact payment entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactPayment {
+    /// Compensation `C_i = α_i·w̃_i`.
+    pub compensation: Rational,
+    /// Bonus `B_i = T(α(b_{-i}), b_{-i}) − T(α(b), (b_{-i}, w̃_i))`.
+    pub bonus: Rational,
+}
+
+impl ExactPayment {
+    /// Total payment `Q_i`.
+    pub fn total(&self) -> Rational {
+        &self.compensation + &self.bonus
+    }
+}
+
+fn max_time(times: Vec<Rational>) -> Rational {
+    times.into_iter().max().expect("non-empty market")
+}
+
+/// Exact DLS-BL payments for bids `b` and observed rates `w̃`.
+///
+/// # Panics
+/// Panics on length mismatches or non-positive rates.
+pub fn compute_payments_exact(
+    model: SystemModel,
+    z: &Rational,
+    bids: &[Rational],
+    observed: &[Rational],
+) -> Vec<ExactPayment> {
+    let m = bids.len();
+    assert_eq!(observed.len(), m, "observed length mismatch");
+    let params = ExactParams::new(z.clone(), bids.to_vec());
+    let alloc = exact::fractions(model, &params);
+
+    (0..m)
+        .map(|i| {
+            let compensation = &alloc[i] * &observed[i];
+            // Reduced market: bids without i.
+            let t_without = if m == 1 {
+                &alloc[i] * &bids[i]
+            } else {
+                let mut reduced = bids.to_vec();
+                reduced.remove(i);
+                let rp = ExactParams::new(z.clone(), reduced);
+                max_time(exact::finish_times(
+                    model,
+                    &rp,
+                    &exact::fractions(model, &rp),
+                ))
+            };
+            // Realized schedule: everyone at bid, i at observed.
+            let mut mixed = bids.to_vec();
+            mixed[i] = observed[i].clone();
+            let mp = ExactParams::new(z.clone(), mixed);
+            let t_actual = max_time(exact::finish_times(model, &mp, &alloc));
+            ExactPayment {
+                compensation,
+                bonus: &t_without - &t_actual,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_payments;
+    use dls_dlt::{optimal, BusParams, ALL_MODELS};
+
+    fn rat(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn exact_certifies_f64_payments() {
+        // Exactly representable parameters so f64 and rational inputs are
+        // identical numbers.
+        let z = 0.25;
+        let bids = [1.0, 2.0, 1.5, 3.0];
+        let observed = [1.0, 2.5, 1.5, 3.0]; // P2 slacks
+        for model in ALL_MODELS {
+            let p = BusParams::new(z, bids.to_vec()).unwrap();
+            let alloc = optimal::fractions(model, &p);
+            let fp = compute_payments(model, &p, &alloc, &observed);
+            let ep = compute_payments_exact(
+                model,
+                &rat(1, 4),
+                &bids.map(|b| Rational::from_f64(b).unwrap()),
+                &observed.map(|b| Rational::from_f64(b).unwrap()),
+            );
+            for (f, e) in fp.iter().zip(&ep) {
+                assert!(
+                    (f.compensation - e.compensation.to_f64()).abs() < 1e-12,
+                    "{model} compensation"
+                );
+                assert!(
+                    (f.bonus - e.bonus.to_f64()).abs() < 1e-12,
+                    "{model} bonus: {} vs {}",
+                    f.bonus,
+                    e.bonus.to_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truthful_utility_is_exactly_bonus() {
+        // U_i = Q_i − α_i·w̃_i = B_i with ZERO error in exact arithmetic.
+        let z = rat(1, 5);
+        let bids = [rat(1, 1), rat(2, 1), rat(3, 1)];
+        let payments =
+            compute_payments_exact(SystemModel::NcpFe, &z, &bids, &bids);
+        let params = ExactParams::new(z, bids.to_vec());
+        let alloc = exact::fractions(SystemModel::NcpFe, &params);
+        for (i, p) in payments.iter().enumerate() {
+            let cost = &alloc[i] * &bids[i];
+            let utility = &p.total() - &cost;
+            assert_eq!(utility, p.bonus, "agent {i}");
+        }
+    }
+
+    #[test]
+    fn truthful_worker_bonus_nonnegative_exactly() {
+        let z = rat(1, 4);
+        let bids = [rat(1, 1), rat(5, 2), rat(3, 2), rat(3, 1)];
+        for model in ALL_MODELS {
+            let payments = compute_payments_exact(model, &z, &bids, &bids);
+            let orig = model.originator(bids.len());
+            for (i, p) in payments.iter().enumerate() {
+                if Some(i) == orig {
+                    continue;
+                }
+                assert!(
+                    !p.bonus.is_negative(),
+                    "{model} worker {i}: negative exact bonus {}",
+                    p.bonus
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slacking_shrinks_bonus_exactly() {
+        let z = rat(1, 5);
+        let bids = [rat(1, 1), rat(2, 1), rat(3, 1)];
+        let honest = compute_payments_exact(SystemModel::NcpFe, &z, &bids, &bids);
+        let mut slack = bids.to_vec();
+        slack[1] = rat(4, 1); // P2 runs at half speed
+        let slacked = compute_payments_exact(SystemModel::NcpFe, &z, &bids, &slack);
+        assert!(slacked[1].bonus < honest[1].bonus);
+    }
+
+    #[test]
+    fn single_agent_market() {
+        let p = compute_payments_exact(
+            SystemModel::NcpFe,
+            &rat(1, 2),
+            &[rat(2, 1)],
+            &[rat(2, 1)],
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].compensation, rat(2, 1));
+    }
+}

@@ -1,0 +1,473 @@
+//! The DLS-BL market: agents, allocation, payments, utilities.
+
+use dls_dlt::{makespan, optimal, BusParams, ParamError, SystemModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One strategic processor: its private type, its report, and how it
+/// actually executes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentSpec {
+    /// True unit-processing time `w_i` (private type `t_i`).
+    pub true_w: f64,
+    /// Reported bid `b_i`.
+    pub bid: f64,
+    /// Observed execution rate `w̃_i`. Physically constrained to
+    /// `w̃_i ≥ w_i` — a processor can stall but not overclock.
+    pub exec_w: f64,
+}
+
+impl AgentSpec {
+    /// A truthful, fully compliant agent: `b_i = w̃_i = w_i`.
+    pub fn truthful(w: f64) -> Self {
+        AgentSpec {
+            true_w: w,
+            bid: w,
+            exec_w: w,
+        }
+    }
+
+    /// An agent that misreports its capacity by `factor` (`> 1` feigns
+    /// slowness, `< 1` feigns speed) but executes at its true rate —
+    /// unless the bid claims it is *slower* than it is, in which case it
+    /// must stall to match its own claim or run at full speed; we model the
+    /// pure misreport (executes at true speed).
+    pub fn misreporting(w: f64, factor: f64) -> Self {
+        AgentSpec {
+            true_w: w,
+            bid: w * factor,
+            exec_w: w,
+        }
+    }
+
+    /// A truthful bidder that then executes `factor ≥ 1` slower than bid.
+    pub fn slacking(w: f64, factor: f64) -> Self {
+        AgentSpec {
+            true_w: w,
+            bid: w,
+            exec_w: w * factor,
+        }
+    }
+
+    /// `true` iff the agent reports truthfully and executes at full speed.
+    pub fn is_compliant(&self) -> bool {
+        self.bid == self.true_w && self.exec_w == self.true_w
+    }
+}
+
+/// Invalid market specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarketError {
+    /// The underlying DLT parameters were invalid.
+    Params(ParamError),
+    /// An agent's `exec_w` violates the physical constraint `w̃_i ≥ w_i`.
+    Overclocked {
+        /// Offending agent (0-based).
+        index: usize,
+    },
+    /// A non-finite or non-positive value in an agent spec.
+    InvalidAgent {
+        /// Offending agent (0-based).
+        index: usize,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::Params(e) => write!(f, "{e}"),
+            MarketError::Overclocked { index } => write!(
+                f,
+                "agent {index}: execution rate faster than true capacity (w̃ < w)"
+            ),
+            MarketError::InvalidAgent { index } => {
+                write!(f, "agent {index}: rates must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+impl From<ParamError> for MarketError {
+    fn from(e: ParamError) -> Self {
+        MarketError::Params(e)
+    }
+}
+
+/// Payment handed to one processor, split per Eq. (12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Payment {
+    /// `C_i = α_i·w̃_i` — reimbursement of incurred cost.
+    pub compensation: f64,
+    /// `B_i = T(α(b_{-i}), b_{-i}) − T(α(b), (b_{-i}, w̃_i))`.
+    pub bonus: f64,
+}
+
+impl Payment {
+    /// Total payment `Q_i = C_i + B_i`.
+    pub fn total(&self) -> f64 {
+        self.compensation + self.bonus
+    }
+}
+
+/// A fully specified DLS-BL market instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Market {
+    model: SystemModel,
+    z: f64,
+    agents: Vec<AgentSpec>,
+}
+
+impl Market {
+    /// Validates and constructs a market.
+    pub fn new(
+        model: SystemModel,
+        z: f64,
+        agents: Vec<AgentSpec>,
+    ) -> Result<Self, MarketError> {
+        for (index, a) in agents.iter().enumerate() {
+            let vals = [a.true_w, a.bid, a.exec_w];
+            if vals.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+                return Err(MarketError::InvalidAgent { index });
+            }
+            if a.exec_w < a.true_w {
+                return Err(MarketError::Overclocked { index });
+            }
+        }
+        // Validate the bid vector as DLT parameters up front.
+        let _ = BusParams::new(z, agents.iter().map(|a| a.bid).collect::<Vec<_>>())?;
+        Ok(Market { model, z, agents })
+    }
+
+    /// The system model.
+    pub fn model(&self) -> SystemModel {
+        self.model
+    }
+
+    /// Bus communication rate.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The agents.
+    pub fn agents(&self) -> &[AgentSpec] {
+        &self.agents
+    }
+
+    /// Number of agents `m`.
+    pub fn m(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The bid vector `b`.
+    pub fn bids(&self) -> Vec<f64> {
+        self.agents.iter().map(|a| a.bid).collect()
+    }
+
+    /// The observed execution vector `w̃`.
+    pub fn observed(&self) -> Vec<f64> {
+        self.agents.iter().map(|a| a.exec_w).collect()
+    }
+
+    /// Runs the mechanism: allocation from bids, execution at observed
+    /// rates, payments per Eq. (12).
+    pub fn run(&self) -> MechanismOutcome {
+        let bids = self.bids();
+        let observed = self.observed();
+        let bid_params = BusParams::new(self.z, bids.clone()).expect("validated in new()");
+        let alloc = optimal::fractions(self.model, &bid_params);
+
+        // Actual session finish times: allocation from bids, but each
+        // processor computing at its observed rate.
+        let exec_params = BusParams::new(self.z, observed.clone()).expect("validated in new()");
+        let finish = dls_dlt::finish_times(self.model, &exec_params, &alloc);
+        let actual_makespan = finish.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        let payments = compute_payments(self.model, &bid_params, &alloc, &observed);
+
+        MechanismOutcome {
+            model: self.model,
+            agents: self.agents.clone(),
+            alloc,
+            finish_times: finish,
+            actual_makespan,
+            payments,
+        }
+    }
+}
+
+/// Payments for every agent given the bid-derived allocation and the
+/// observed execution rates. Exposed separately so the distributed protocol
+/// (every processor recomputes `Q` in the Computing Payments phase) can call
+/// the *identical* function the trusted mechanism would.
+pub fn compute_payments(
+    model: SystemModel,
+    bid_params: &BusParams,
+    alloc: &[f64],
+    observed: &[f64],
+) -> Vec<Payment> {
+    let m = bid_params.m();
+    assert_eq!(alloc.len(), m);
+    assert_eq!(observed.len(), m);
+    (0..m)
+        .map(|i| {
+            let compensation = alloc[i] * observed[i];
+            // First bonus term: optimal time of the market without P_i —
+            // independent of anything P_i reports or does. A single-agent
+            // market has no reduced counterpart; the term is then the time
+            // of doing nothing at all, i.e. the whole load unserved. We
+            // follow [9] and define it as the solo processing time on an
+            // absent market = +∞ conceptually; practically the mechanism is
+            // only run with m ≥ 2 (the protocol requires peers), so we fall
+            // back to the agent's own bid time to keep the math finite.
+            let t_without = optimal::makespan_without(model, bid_params, i)
+                .unwrap_or(alloc[i] * bid_params.w()[i]);
+            // Second term: the realized schedule, others at their bids, P_i
+            // at its observed speed.
+            let mixed = bid_params.with_rate(i, observed[i]);
+            let t_actual = makespan(model, &mixed, alloc);
+            Payment {
+                compensation,
+                bonus: t_without - t_actual,
+            }
+        })
+        .collect()
+}
+
+/// Everything the mechanism produced for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismOutcome {
+    model: SystemModel,
+    agents: Vec<AgentSpec>,
+    /// Allocation `α(b)` computed from the bids.
+    pub alloc: Vec<f64>,
+    /// Realized finish times (allocation from bids, observed speeds).
+    pub finish_times: Vec<f64>,
+    /// Realized total execution time.
+    pub actual_makespan: f64,
+    /// Per-agent payments.
+    pub payments: Vec<Payment>,
+}
+
+impl MechanismOutcome {
+    /// Agent `i`'s utility `U_i = Q_i + V_i = C_i + B_i − α_i·w̃_i = B_i`.
+    pub fn utility(&self, i: usize) -> f64 {
+        let valuation = -self.alloc[i] * self.agents[i].exec_w;
+        self.payments[i].total() + valuation
+    }
+
+    /// Total amount the user is billed: `Σ Q_i`.
+    pub fn user_bill(&self) -> f64 {
+        self.payments.iter().map(Payment::total).sum()
+    }
+
+    /// The social cost the paper's mechanism minimizes under truthful play:
+    /// the realized makespan.
+    pub fn social_cost(&self) -> f64 {
+        self.actual_makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_dlt::ALL_MODELS;
+
+    fn truthful_market(model: SystemModel) -> Market {
+        Market::new(
+            model,
+            0.2,
+            vec![
+                AgentSpec::truthful(1.0),
+                AgentSpec::truthful(2.0),
+                AgentSpec::truthful(3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_overclocking() {
+        let bad = AgentSpec {
+            true_w: 2.0,
+            bid: 2.0,
+            exec_w: 1.5,
+        };
+        assert!(matches!(
+            Market::new(SystemModel::Cp, 0.1, vec![AgentSpec::truthful(1.0), bad]),
+            Err(MarketError::Overclocked { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad = AgentSpec {
+            true_w: -1.0,
+            bid: 1.0,
+            exec_w: 1.0,
+        };
+        assert!(matches!(
+            Market::new(SystemModel::Cp, 0.1, vec![bad]),
+            Err(MarketError::InvalidAgent { index: 0 })
+        ));
+        assert!(matches!(
+            Market::new(SystemModel::Cp, -0.5, vec![AgentSpec::truthful(1.0)]),
+            Err(MarketError::Params(_))
+        ));
+    }
+
+    #[test]
+    fn truthful_utility_equals_bonus() {
+        for model in ALL_MODELS {
+            let out = truthful_market(model).run();
+            for i in 0..3 {
+                // U_i = B_i exactly: compensation cancels valuation.
+                assert!(
+                    (out.utility(i) - out.payments[i].bonus).abs() < 1e-12,
+                    "{model} agent {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truthful_workers_get_nonnegative_utility() {
+        for model in ALL_MODELS {
+            let m = truthful_market(model);
+            let out = m.run();
+            for i in 0..3 {
+                // Skip the NCP originator: its participation is structural
+                // (it holds the load) and its bonus can be negative — the
+                // voluntary-participation theorem covers workers.
+                if model.originator(3) == Some(i) {
+                    continue;
+                }
+                assert!(out.utility(i) >= -1e-12, "{model} agent {i}: {}", out.utility(i));
+            }
+        }
+    }
+
+    #[test]
+    fn compensation_reimburses_incurred_cost() {
+        let out = truthful_market(SystemModel::NcpFe).run();
+        for i in 0..3 {
+            // Truthful agents: C_i = α_i·w_i with w = (1, 2, 3).
+            let expected = out.alloc[i] * (i + 1) as f64;
+            assert!((out.payments[i].compensation - expected).abs() < 1e-12);
+            assert!(out.payments[i].compensation > 0.0);
+        }
+    }
+
+    #[test]
+    fn slacking_reduces_utility() {
+        for model in ALL_MODELS {
+            let honest = truthful_market(model).run();
+            let slacker = Market::new(
+                model,
+                0.2,
+                vec![
+                    AgentSpec::slacking(1.0, 2.0), // executes twice as slow
+                    AgentSpec::truthful(2.0),
+                    AgentSpec::truthful(3.0),
+                ],
+            )
+            .unwrap()
+            .run();
+            assert!(
+                slacker.utility(0) < honest.utility(0),
+                "{model}: slacking should hurt ({} vs {})",
+                slacker.utility(0),
+                honest.utility(0)
+            );
+        }
+    }
+
+    #[test]
+    fn overbidding_reduces_utility() {
+        for model in ALL_MODELS {
+            let honest = truthful_market(model).run();
+            let liar = Market::new(
+                model,
+                0.2,
+                vec![
+                    AgentSpec::misreporting(1.0, 1.8),
+                    AgentSpec::truthful(2.0),
+                    AgentSpec::truthful(3.0),
+                ],
+            )
+            .unwrap()
+            .run();
+            assert!(
+                liar.utility(0) <= honest.utility(0) + 1e-12,
+                "{model}: overbidding should not help ({} vs {})",
+                liar.utility(0),
+                honest.utility(0)
+            );
+        }
+    }
+
+    #[test]
+    fn underbidding_reduces_utility() {
+        // Claiming to be faster than you are gets you more load than you
+        // can chew; the realized schedule is longer and the bonus smaller.
+        for model in ALL_MODELS {
+            let honest = truthful_market(model).run();
+            let liar = Market::new(
+                model,
+                0.2,
+                vec![
+                    AgentSpec {
+                        true_w: 1.0,
+                        bid: 0.4,
+                        exec_w: 1.0,
+                    },
+                    AgentSpec::truthful(2.0),
+                    AgentSpec::truthful(3.0),
+                ],
+            )
+            .unwrap()
+            .run();
+            assert!(
+                liar.utility(0) <= honest.utility(0) + 1e-12,
+                "{model}: underbidding should not help ({} vs {})",
+                liar.utility(0),
+                honest.utility(0)
+            );
+        }
+    }
+
+    #[test]
+    fn realized_makespan_reflects_slow_execution() {
+        let honest = truthful_market(SystemModel::Cp).run();
+        let slacker = Market::new(
+            SystemModel::Cp,
+            0.2,
+            vec![
+                AgentSpec::slacking(1.0, 3.0),
+                AgentSpec::truthful(2.0),
+                AgentSpec::truthful(3.0),
+            ],
+        )
+        .unwrap()
+        .run();
+        assert!(slacker.actual_makespan > honest.actual_makespan);
+    }
+
+    #[test]
+    fn user_bill_covers_all_payments() {
+        let out = truthful_market(SystemModel::NcpNfe).run();
+        let manual: f64 = out.payments.iter().map(Payment::total).sum();
+        assert!((out.user_bill() - manual).abs() < 1e-12);
+        assert!(out.user_bill() > 0.0);
+    }
+
+    #[test]
+    fn payments_function_matches_market_run() {
+        let m = truthful_market(SystemModel::NcpFe);
+        let out = m.run();
+        let bid_params = BusParams::new(m.z(), m.bids()).unwrap();
+        let manual = compute_payments(m.model(), &bid_params, &out.alloc, &m.observed());
+        assert_eq!(manual, out.payments);
+    }
+}

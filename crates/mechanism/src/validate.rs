@@ -1,0 +1,340 @@
+//! Exhaustive-sweep validators for the mechanism's two headline properties.
+//!
+//! These are *measurement* tools, not proofs: they discretize the strategy
+//! space of one agent (bid factor × execution factor) and check that no
+//! grid point beats truthful play. The test-suite runs them on random
+//! markets; the experiment harness uses them to regenerate the
+//! strategyproofness and voluntary-participation evidence (E6/E7).
+
+use crate::market::{AgentSpec, Market, MarketError};
+use dls_dlt::SystemModel;
+
+/// One probed deviation and the utility it produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbePoint {
+    /// Multiplier applied to the true `w_i` to form the bid.
+    pub bid_factor: f64,
+    /// Multiplier applied to `max(bid, w_i)`-independent true rate to form
+    /// the execution rate (always ≥ 1: processors cannot overclock).
+    pub exec_factor: f64,
+    /// Resulting utility for the probed agent.
+    pub utility: f64,
+}
+
+/// Outcome of a strategyproofness sweep for one agent.
+#[derive(Debug, Clone)]
+pub struct StrategyproofReport {
+    /// Index of the probed agent.
+    pub agent: usize,
+    /// Utility under truthful play (`bid_factor = exec_factor = 1`).
+    pub truthful_utility: f64,
+    /// Every probed deviation.
+    pub probes: Vec<ProbePoint>,
+    /// The best deviation found (max utility among probes).
+    pub best_deviation: ProbePoint,
+}
+
+impl StrategyproofReport {
+    /// `true` iff no probed deviation beats truthful play by more than
+    /// `tol` (absolute).
+    pub fn holds(&self, tol: f64) -> bool {
+        self.best_deviation.utility <= self.truthful_utility + tol
+    }
+
+    /// How much the best deviation gains over truth (positive would violate
+    /// strategyproofness).
+    pub fn max_gain(&self) -> f64 {
+        self.best_deviation.utility - self.truthful_utility
+    }
+}
+
+/// Default multiplicative grid for bids: ×0.25 … ×4.
+pub fn default_bid_factors() -> Vec<f64> {
+    vec![0.25, 0.4, 0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.2, 1.5, 2.0, 3.0, 4.0]
+}
+
+/// Default multiplicative grid for execution slow-down: ×1 … ×4.
+pub fn default_exec_factors() -> Vec<f64> {
+    vec![1.0, 1.1, 1.5, 2.0, 3.0, 4.0]
+}
+
+/// Sweeps agent `agent`'s strategy space while everyone else plays
+/// truthfully, returning the utilities of every probed deviation.
+///
+/// `true_w` are the private types; the probed agent bids
+/// `bid_factor·w_i` and executes at `exec_factor·w_i` (clamped up to its
+/// bid-independent physical floor `w_i`).
+pub fn sweep_strategyproof(
+    model: SystemModel,
+    z: f64,
+    true_w: &[f64],
+    agent: usize,
+    bid_factors: &[f64],
+    exec_factors: &[f64],
+) -> Result<StrategyproofReport, MarketError> {
+    assert!(agent < true_w.len(), "agent index out of range");
+    let run_with = |bid_factor: f64, exec_factor: f64| -> Result<f64, MarketError> {
+        let agents: Vec<AgentSpec> = true_w
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                if i == agent {
+                    AgentSpec {
+                        true_w: w,
+                        bid: w * bid_factor,
+                        exec_w: w * exec_factor.max(1.0),
+                    }
+                } else {
+                    AgentSpec::truthful(w)
+                }
+            })
+            .collect();
+        Ok(Market::new(model, z, agents)?.run().utility(agent))
+    };
+
+    let truthful_utility = run_with(1.0, 1.0)?;
+    let mut probes = Vec::with_capacity(bid_factors.len() * exec_factors.len());
+    for &bf in bid_factors {
+        for &ef in exec_factors {
+            probes.push(ProbePoint {
+                bid_factor: bf,
+                exec_factor: ef,
+                utility: run_with(bf, ef)?,
+            });
+        }
+    }
+    let best_deviation = *probes
+        .iter()
+        .max_by(|a, b| a.utility.total_cmp(&b.utility))
+        .expect("non-empty grids");
+    Ok(StrategyproofReport {
+        agent,
+        truthful_utility,
+        probes,
+        best_deviation,
+    })
+}
+
+/// Outcome of a coalition probe: the coalition's members, their joint
+/// utility under the probed deviation, and under all-truthful play.
+#[derive(Debug, Clone)]
+pub struct CoalitionReport {
+    /// Members of the coalition (agent indices).
+    pub members: Vec<usize>,
+    /// Sum of members' utilities when all members apply `bid_factor`.
+    pub coalition_utility: f64,
+    /// Sum of members' utilities under truthful play by everyone.
+    pub truthful_utility: f64,
+}
+
+impl CoalitionReport {
+    /// Net gain of the coalition over truth-telling (positive would mean
+    /// a profitable joint manipulation).
+    pub fn gain(&self) -> f64 {
+        self.coalition_utility - self.truthful_utility
+    }
+}
+
+/// Probes a *coalition* deviation: every member of `members` scales its bid
+/// by `bid_factor` simultaneously (non-members stay truthful; everyone
+/// executes at full speed). DLS-BL is strategyproof for unilateral
+/// deviations (Theorem 3.1); this measures how it fares against joint
+/// manipulations — an extension beyond the paper's analysis.
+pub fn probe_coalition(
+    model: SystemModel,
+    z: f64,
+    true_w: &[f64],
+    members: &[usize],
+    bid_factor: f64,
+) -> Result<CoalitionReport, MarketError> {
+    assert!(
+        members.iter().all(|&i| i < true_w.len()),
+        "coalition member out of range"
+    );
+    let build = |deviate: bool| -> Result<Vec<f64>, MarketError> {
+        let agents: Vec<AgentSpec> = true_w
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                if deviate && members.contains(&i) {
+                    AgentSpec {
+                        true_w: w,
+                        bid: w * bid_factor,
+                        exec_w: w,
+                    }
+                } else {
+                    AgentSpec::truthful(w)
+                }
+            })
+            .collect();
+        let out = Market::new(model, z, agents)?.run();
+        Ok((0..true_w.len()).map(|i| out.utility(i)).collect())
+    };
+    let truthful = build(false)?;
+    let deviant = build(true)?;
+    let sum = |u: &[f64]| members.iter().map(|&i| u[i]).sum::<f64>();
+    Ok(CoalitionReport {
+        members: members.to_vec(),
+        coalition_utility: sum(&deviant),
+        truthful_utility: sum(&truthful),
+    })
+}
+
+/// Checks voluntary participation on an all-truthful market: returns the
+/// per-agent utilities; every *worker* (non-originator) must be ≥ 0.
+pub fn participation_utilities(
+    model: SystemModel,
+    z: f64,
+    true_w: &[f64],
+) -> Result<Vec<f64>, MarketError> {
+    let agents = true_w.iter().map(|&w| AgentSpec::truthful(w)).collect();
+    let out = Market::new(model, z, agents)?.run();
+    Ok((0..true_w.len()).map(|i| out.utility(i)).collect())
+}
+
+/// `true` iff voluntary participation holds for every worker in the
+/// all-truthful market (originator exempt in the NCP models — it holds the
+/// load and cannot decline).
+pub fn participation_holds(
+    model: SystemModel,
+    z: f64,
+    true_w: &[f64],
+    tol: f64,
+) -> Result<bool, MarketError> {
+    let utilities = participation_utilities(model, z, true_w)?;
+    let orig = model.originator(true_w.len());
+    Ok(utilities
+        .iter()
+        .enumerate()
+        .all(|(i, &u)| Some(i) == orig || u >= -tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_dlt::ALL_MODELS;
+
+    const W: [f64; 4] = [1.0, 2.5, 1.5, 3.0];
+    const Z: f64 = 0.3;
+
+    #[test]
+    fn strategyproof_on_fixed_market_all_models_all_agents() {
+        for model in ALL_MODELS {
+            for agent in 0..W.len() {
+                let report = sweep_strategyproof(
+                    model,
+                    Z,
+                    &W,
+                    agent,
+                    &default_bid_factors(),
+                    &default_exec_factors(),
+                )
+                .unwrap();
+                assert!(
+                    report.holds(1e-9),
+                    "{model} agent {agent}: gain {}",
+                    report.max_gain()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truthful_is_a_probe_point() {
+        let report = sweep_strategyproof(
+            SystemModel::Cp,
+            Z,
+            &W,
+            0,
+            &default_bid_factors(),
+            &default_exec_factors(),
+        )
+        .unwrap();
+        let truthful_probe = report
+            .probes
+            .iter()
+            .find(|p| p.bid_factor == 1.0 && p.exec_factor == 1.0)
+            .expect("grid contains the truthful point");
+        assert!((truthful_probe.utility - report.truthful_utility).abs() < 1e-12);
+    }
+
+    #[test]
+    fn participation_holds_on_fixed_market() {
+        for model in ALL_MODELS {
+            assert!(participation_holds(model, Z, &W, 1e-9).unwrap(), "{model}");
+        }
+    }
+
+    #[test]
+    fn participation_utilities_match_market() {
+        let u = participation_utilities(SystemModel::Cp, Z, &W).unwrap();
+        assert_eq!(u.len(), 4);
+        // CP has no originator among the agents: all must be ≥ 0.
+        assert!(u.iter().all(|&x| x >= -1e-9));
+    }
+
+    #[test]
+    fn probe_count_matches_grids() {
+        let bf = default_bid_factors();
+        let ef = default_exec_factors();
+        let report =
+            sweep_strategyproof(SystemModel::NcpFe, Z, &W, 1, &bf, &ef).unwrap();
+        assert_eq!(report.probes.len(), bf.len() * ef.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn agent_bounds_checked() {
+        let _ = sweep_strategyproof(SystemModel::Cp, Z, &W, 9, &[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn pair_coalitions_do_not_profit_on_this_market() {
+        // Unilateral strategyproofness (Theorem 3.1) does NOT imply group
+        // strategyproofness; on this particular market no probed pair
+        // profits, but see `dls_bl_is_not_group_strategyproof` below.
+        for model in ALL_MODELS {
+            for pair in [[0usize, 1], [1, 2], [0, 3]] {
+                for factor in [0.5, 0.8, 1.25, 2.0] {
+                    let r = probe_coalition(model, Z, &W, &pair, factor).unwrap();
+                    assert!(
+                        r.gain() <= 1e-9,
+                        "{model} {pair:?} x{factor}: coalition gains {}",
+                        r.gain()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dls_bl_is_not_group_strategyproof() {
+        // Regression-captured finding (experiment E15): on this market the
+        // two fastest processors jointly over-reporting by 1.5x increase
+        // their JOINT utility — DLS-BL's dominant-strategy guarantee is
+        // strictly unilateral. (Each member individually still does no
+        // better than truth given the other's lie would persist — this is
+        // a correlated deviation.)
+        let w = [0.8, 1.3, 1.9, 2.6, 3.4];
+        let r = probe_coalition(SystemModel::NcpFe, 0.3, &w, &[0, 1], 1.5).unwrap();
+        assert!(
+            r.gain() > 1e-3,
+            "expected a profitable coalition, got gain {}",
+            r.gain()
+        );
+    }
+
+    #[test]
+    fn trivial_coalition_matches_unilateral_probe() {
+        let r = probe_coalition(SystemModel::Cp, Z, &W, &[2], 1.5).unwrap();
+        let s = sweep_strategyproof(SystemModel::Cp, Z, &W, 2, &[1.5], &[1.0]).unwrap();
+        assert!((r.coalition_utility - s.probes[0].utility).abs() < 1e-12);
+        assert!((r.truthful_utility - s.truthful_utility).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "member out of range")]
+    fn coalition_bounds_checked() {
+        let _ = probe_coalition(SystemModel::Cp, Z, &W, &[9], 1.5);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for DLS-BL: Theorems 3.1 (strategyproofness) and 3.2
+//! (voluntary participation) on random markets in the DLT regime.
+
+use dls_mechanism::validate::{
+    participation_holds, sweep_strategyproof,
+};
+use dls_mechanism::{AgentSpec, Market};
+use dls_dlt::{SystemModel, ALL_MODELS};
+use proptest::prelude::*;
+
+/// Markets in the classical DLT regime (`z < min w`), 2–8 agents.
+fn arb_market_params() -> impl Strategy<Value = (f64, Vec<f64>)> {
+    (
+        0.0f64..0.9,
+        prop::collection::vec(1.0f64..8.0, 2..8),
+    )
+        .prop_map(|(zfrac, w)| {
+            let min_w = w.iter().cloned().fold(f64::INFINITY, f64::min);
+            (zfrac * min_w, w)
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = SystemModel> {
+    prop::sample::select(ALL_MODELS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1: no unilateral deviation (bid × execution) on the probe
+    /// grid beats truthful play, for a random agent on a random market.
+    #[test]
+    fn strategyproofness((z, w) in arb_market_params(), model in arb_model(),
+                         idx in any::<prop::sample::Index>(),
+                         bf in 0.2f64..5.0, ef in 1.0f64..4.0) {
+        let agent = idx.index(w.len());
+        let report = sweep_strategyproof(model, z, &w, agent, &[bf], &[ef]).unwrap();
+        prop_assert!(report.holds(1e-9),
+            "agent {} gains {} with bid×{} exec×{}",
+            agent, report.max_gain(), bf, ef);
+    }
+
+    /// Theorem 3.2: truthful workers never lose on random markets.
+    #[test]
+    fn voluntary_participation((z, w) in arb_market_params(), model in arb_model()) {
+        prop_assert!(participation_holds(model, z, &w, 1e-9).unwrap());
+    }
+
+    /// U_i = B_i identically: the compensation exactly cancels the cost.
+    #[test]
+    fn utility_is_bonus((z, w) in arb_market_params(), model in arb_model(),
+                        idx in any::<prop::sample::Index>(),
+                        bf in 0.2f64..5.0, ef in 1.0f64..4.0) {
+        let i = idx.index(w.len());
+        let agents: Vec<AgentSpec> = w.iter().enumerate().map(|(j, &wj)| {
+            if j == i {
+                AgentSpec { true_w: wj, bid: wj * bf, exec_w: wj * ef }
+            } else {
+                AgentSpec::truthful(wj)
+            }
+        }).collect();
+        let out = Market::new(model, z, agents).unwrap().run();
+        prop_assert!((out.utility(i) - out.payments[i].bonus).abs() < 1e-9);
+    }
+
+    /// The realized makespan under all-truthful play equals the DLT optimum
+    /// — the mechanism implements the efficient outcome.
+    #[test]
+    fn truthful_play_is_efficient((z, w) in arb_market_params(), model in arb_model()) {
+        let agents = w.iter().map(|&x| AgentSpec::truthful(x)).collect();
+        let out = Market::new(model, z, agents).unwrap().run();
+        let params = dls_dlt::BusParams::new(z, w.clone()).unwrap();
+        let opt = dls_dlt::optimal::optimal_makespan(model, &params);
+        prop_assert!((out.social_cost() - opt).abs() < 1e-9 * (1.0 + opt));
+    }
+
+    /// Slacking by any factor > 1 strictly hurts (the verification part of
+    /// "mechanism with verification").
+    #[test]
+    fn slacking_strictly_hurts((z, w) in arb_market_params(), model in arb_model(),
+                               idx in any::<prop::sample::Index>(),
+                               ef in 1.05f64..5.0) {
+        let i = idx.index(w.len());
+        let honest: Vec<AgentSpec> = w.iter().map(|&x| AgentSpec::truthful(x)).collect();
+        let mut slack = honest.clone();
+        slack[i] = AgentSpec::slacking(w[i], ef);
+        let u_honest = Market::new(model, z, honest).unwrap().run().utility(i);
+        let u_slack = Market::new(model, z, slack).unwrap().run().utility(i);
+        prop_assert!(u_slack < u_honest, "{} !< {}", u_slack, u_honest);
+    }
+
+    /// The user's bill is finite and at least the total compensation (the
+    /// bonus of a truthful market is non-negative for workers).
+    #[test]
+    fn bill_covers_compensation((z, w) in arb_market_params(), model in arb_model()) {
+        let agents: Vec<AgentSpec> = w.iter().map(|&x| AgentSpec::truthful(x)).collect();
+        let out = Market::new(model, z, agents).unwrap().run();
+        let comp_total: f64 = out.payments.iter().map(|p| p.compensation).sum();
+        prop_assert!(out.user_bill().is_finite());
+        // Workers' bonuses are ≥ 0; only the NCP originator can drag the
+        // bill below total compensation, and only slightly.
+        if model.originator(w.len()).is_none() {
+            prop_assert!(out.user_bill() >= comp_total - 1e-9);
+        }
+    }
+}

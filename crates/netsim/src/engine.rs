@@ -1,0 +1,202 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by simulated time with FIFO tie-breaking (a strictly
+//! increasing sequence number), so identical inputs always replay the same
+//! trace — the property every downstream test relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event at a simulated time.
+struct Entry<E> {
+    at: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest (time, seq).
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is NaN or earlier than the current time (events may
+    /// not be scheduled in the past).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        assert!(!at.is_nan(), "NaN event time");
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after a non-negative delay from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains the queue through `handler` until no events remain. The
+    /// handler may schedule further events. Returns the final time.
+    pub fn run(mut self, mut handler: impl FnMut(&mut Self, f64, E)) -> f64 {
+        while let Some((at, ev)) = self.pop() {
+            handler(&mut self, at, ev);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let mut seen = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            seen.push((t, e));
+        }
+        assert_eq!(seen, vec![(1.0, "a"), (2.0, "b"), (3.0, "c")]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "first");
+        q.pop();
+        q.schedule_in(0.5, "second");
+        assert_eq!(q.pop(), Some((2.5, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn run_drains_with_cascading_events() {
+        // Each event spawns a shorter follow-up until a floor is reached.
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 4u32);
+        let end = q.run(|q, _t, remaining| {
+            if remaining > 0 {
+                q.schedule_in(1.0, remaining - 1);
+            }
+        });
+        assert_eq!(end, 5.0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

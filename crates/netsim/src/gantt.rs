@@ -1,0 +1,260 @@
+//! ASCII Gantt rendering of a [`Timeline`] — regenerates the paper's
+//! Figures 1–3.
+//!
+//! The figures show a "Communication" row (bus occupancy, labelled with the
+//! fraction being carried) above one row per processor (computation
+//! interval). We render the same layout, scaled to a fixed character width:
+//!
+//! ```text
+//! Communication |a2====|a3=======|
+//! P1            |######################|
+//! P2                   |###############|
+//! P3                             |#####|
+//! ```
+
+use crate::session::Timeline;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Character columns used for the time axis.
+    pub width: usize,
+    /// Show start/end times on a footer scale.
+    pub show_scale: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 72,
+            show_scale: true,
+        }
+    }
+}
+
+fn col(t: f64, makespan: f64, width: usize) -> usize {
+    if makespan <= 0.0 {
+        return 0;
+    }
+    ((t / makespan) * width as f64).round() as usize
+}
+
+/// Renders the timeline as an ASCII Gantt chart.
+pub fn render(timeline: &Timeline, opts: &GanttOptions) -> String {
+    let width = opts.width.max(16);
+    let span = timeline.makespan.max(f64::MIN_POSITIVE);
+    let label_width = 4 + timeline.procs.len().to_string().len();
+    let mut out = String::new();
+
+    // Communication row: bus transfers labelled by recipient.
+    let mut comm = vec![' '; width + 1];
+    for &(dst, seg) in &timeline.bus {
+        let a = col(seg.start, span, width);
+        let b = col(seg.end, span, width).max(a + 1);
+        let label: Vec<char> = format!("a{}", dst + 1).chars().collect();
+        for (k, cell) in comm[a..b.min(width + 1)].iter_mut().enumerate() {
+            *cell = if k == 0 {
+                '|'
+            } else if k - 1 < label.len() {
+                label[k - 1]
+            } else {
+                '='
+            };
+        }
+        if b <= width {
+            comm[b] = '|';
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<label_width$} {}",
+        "Comm",
+        comm.iter().collect::<String>().trim_end()
+    );
+
+    // One row per processor: computation interval.
+    for (i, p) in timeline.procs.iter().enumerate() {
+        let mut row = vec![' '; width + 1];
+        if let Some(seg) = p.compute {
+            let a = col(seg.start, span, width);
+            let b = col(seg.end, span, width).max(a + 1);
+            for cell in row[a..b.min(width + 1)].iter_mut() {
+                *cell = '#';
+            }
+            row[a] = '|';
+            if b <= width {
+                row[b] = '|';
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<label_width$} {}",
+            format!("P{}", i + 1),
+            row.iter().collect::<String>().trim_end()
+        );
+    }
+
+    if opts.show_scale {
+        let _ = writeln!(
+            out,
+            "{:<label_width$} 0{:>w$.4}",
+            "t",
+            timeline.makespan,
+            w = width
+        );
+    }
+    out
+}
+
+/// Renders with default options.
+pub fn render_default(timeline: &Timeline) -> String {
+    render(timeline, &GanttOptions::default())
+}
+
+/// Renders a multi-installment execution (`dls_netsim::multiround`) — each
+/// processor row shows one bar per installment, visualizing the pipelining.
+pub fn render_multiround(
+    result: &crate::multiround::MultiroundResult,
+    opts: &GanttOptions,
+) -> String {
+    let width = opts.width.max(16);
+    let span = result.makespan.max(f64::MIN_POSITIVE);
+    let label_width = 4 + result.compute.len().to_string().len();
+    let mut out = String::new();
+
+    // Bus row: every transfer, labelled by recipient.
+    let mut comm = vec![' '; width + 1];
+    for &(dst, _round, seg) in &result.bus {
+        let a = col(seg.start, span, width);
+        let b = col(seg.end, span, width).max(a + 1);
+        let label: Vec<char> = format!("a{}", dst + 1).chars().collect();
+        for (k, cell) in comm[a..b.min(width + 1)].iter_mut().enumerate() {
+            *cell = if k == 0 {
+                '|'
+            } else if k - 1 < label.len() {
+                label[k - 1]
+            } else {
+                '='
+            };
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<label_width$} {}",
+        "Comm",
+        comm.iter().collect::<String>().trim_end()
+    );
+
+    for (i, segs) in result.compute.iter().enumerate() {
+        let mut row = vec![' '; width + 1];
+        for seg in segs {
+            let a = col(seg.start, span, width);
+            let b = col(seg.end, span, width).max(a + 1);
+            for cell in row[a..b.min(width + 1)].iter_mut() {
+                *cell = '#';
+            }
+            row[a] = '|';
+        }
+        let _ = writeln!(
+            out,
+            "{:<label_width$} {}",
+            format!("P{}", i + 1),
+            row.iter().collect::<String>().trim_end()
+        );
+    }
+    if opts.show_scale {
+        let _ = writeln!(
+            out,
+            "{:<label_width$} 0{:>w$.4}",
+            "t",
+            result.makespan,
+            w = width
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{simulate, SessionSpec};
+    use dls_dlt::{optimal, BusParams, SystemModel, ALL_MODELS};
+
+    fn timeline(model: SystemModel) -> Timeline {
+        let p = BusParams::new(0.2, vec![1.0, 2.0, 3.0]).unwrap();
+        let a = optimal::fractions(model, &p);
+        simulate(&SessionSpec::new(model, p, a))
+    }
+
+    #[test]
+    fn renders_one_row_per_processor_plus_header() {
+        for model in ALL_MODELS {
+            let s = render_default(&timeline(model));
+            let lines: Vec<&str> = s.lines().collect();
+            // Comm + 3 processors + scale.
+            assert_eq!(lines.len(), 5, "{model}:\n{s}");
+            assert!(lines[0].starts_with("Comm"));
+            assert!(lines[1].starts_with("P1"));
+            assert!(lines[3].starts_with("P3"));
+        }
+    }
+
+    #[test]
+    fn compute_bars_present_for_all_computing_procs() {
+        let s = render_default(&timeline(SystemModel::NcpFe));
+        for line in s.lines().skip(1).take(3) {
+            assert!(line.contains('#'), "missing bar in {line:?}");
+        }
+    }
+
+    #[test]
+    fn comm_row_labels_recipients() {
+        let s = render_default(&timeline(SystemModel::NcpFe));
+        let comm = s.lines().next().unwrap();
+        // NCP-FE: transfers to P2 and P3 only.
+        assert!(comm.contains("a2"));
+        assert!(comm.contains("a3"));
+        assert!(!comm.contains("a1"));
+    }
+
+    #[test]
+    fn cp_comm_row_includes_first_worker() {
+        let s = render_default(&timeline(SystemModel::Cp));
+        assert!(s.lines().next().unwrap().contains("a1"));
+    }
+
+    #[test]
+    fn scale_can_be_disabled() {
+        let opts = GanttOptions {
+            width: 40,
+            show_scale: false,
+        };
+        let s = render(&timeline(SystemModel::Cp), &opts);
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn multiround_gantt_shows_installments() {
+        let p = BusParams::new(0.3, vec![1.0, 2.0, 3.0]).unwrap();
+        let res = crate::multiround::simulate_multiround(&p, 3);
+        let s = render_multiround(&res, &GanttOptions::default());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // Comm + 3 procs + scale
+        // Each processor row has 3 bar starts (one per installment).
+        for line in &lines[1..4] {
+            assert!(line.matches('|').count() >= 3, "{line:?}");
+        }
+        // 9 transfers on the bus.
+        assert_eq!(res.bus.len(), 9);
+    }
+
+    #[test]
+    fn ncp_fe_originator_bar_starts_at_left_edge() {
+        let s = render_default(&timeline(SystemModel::NcpFe));
+        let p1 = s.lines().nth(1).unwrap();
+        let bar_start = p1.find('|').unwrap();
+        // Label field is 5 wide + 1 space → bar at column 6.
+        assert!(bar_start <= 6, "{p1:?}");
+    }
+}

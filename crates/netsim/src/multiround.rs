@@ -1,0 +1,171 @@
+//! Multi-installment (multi-round) scheduling baseline — the comparison
+//! point cited by the paper as \[20\] (Yang, van der Raadt & Casanova,
+//! *Multiround algorithms for scheduling divisible loads*).
+//!
+//! Single-round bus scheduling leaves late processors idle while early
+//! transfers complete. Splitting the load into `R` installments pipelines
+//! communication behind computation: every processor starts after only
+//! `1/R`-th of its data has arrived. This module implements the uniform
+//! multi-installment heuristic (each round distributes `1/R` of the load
+//! with the single-round optimal fractions) and measures the makespan on
+//! the one-port bus — the experiment behind E12.
+
+use crate::session::Segment;
+use dls_dlt::{optimal, BusParams, SystemModel};
+
+/// Result of a multi-round execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiroundResult {
+    /// Number of installments used.
+    pub rounds: usize,
+    /// Total execution time.
+    pub makespan: f64,
+    /// Per-processor compute segments, one per round, in time order.
+    pub compute: Vec<Vec<Segment>>,
+    /// Bus segments `(recipient, round, segment)`.
+    pub bus: Vec<(usize, usize, Segment)>,
+}
+
+impl MultiroundResult {
+    /// Fraction of the makespan the bus spent transmitting.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.bus.iter().map(|(_, _, s)| s.duration()).sum();
+        busy / self.makespan
+    }
+}
+
+/// Executes `rounds` uniform installments of the CP-model schedule on a
+/// one-port bus and returns the realized timing.
+///
+/// Round `r`'s transfers start as soon as the bus is free (the bus never
+/// waits for computation); each processor executes its installments in
+/// arrival order.
+///
+/// # Panics
+/// Panics if `rounds == 0`.
+pub fn simulate_multiround(
+    params: &BusParams,
+    rounds: usize,
+) -> MultiroundResult {
+    assert!(rounds > 0, "at least one round required");
+    let m = params.m();
+    let z = params.z();
+    let w = params.w();
+    let alpha = optimal::fractions(SystemModel::Cp, params);
+
+    let mut bus_free = 0.0;
+    let mut proc_free = vec![0.0; m];
+    let mut compute: Vec<Vec<Segment>> = vec![Vec::with_capacity(rounds); m];
+    let mut bus = Vec::with_capacity(rounds * m);
+
+    for r in 0..rounds {
+        for i in 0..m {
+            let chunk = alpha[i] / rounds as f64;
+            if chunk <= 0.0 {
+                continue;
+            }
+            // One-port transfer.
+            let t_start = bus_free;
+            let t_end = t_start + chunk * z;
+            bus.push((i, r, Segment { start: t_start, end: t_end }));
+            bus_free = t_end;
+            // Compute after arrival, after the previous installment.
+            let c_start = t_end.max(proc_free[i]);
+            let c_end = c_start + chunk * w[i];
+            compute[i].push(Segment { start: c_start, end: c_end });
+            proc_free[i] = c_end;
+        }
+    }
+
+    let makespan = proc_free.iter().cloned().fold(0.0f64, f64::max);
+    MultiroundResult {
+        rounds,
+        makespan,
+        compute,
+        bus,
+    }
+}
+
+/// Convenience: single-round CP makespan from the same executor (equals the
+/// closed-form optimum; asserted by tests).
+pub fn single_round_makespan(params: &BusParams) -> f64 {
+    simulate_multiround(params, 1).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BusParams {
+        BusParams::new(0.3, vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn single_round_matches_closed_form() {
+        let p = params();
+        let got = single_round_makespan(&p);
+        let want = optimal::optimal_makespan(SystemModel::Cp, &p);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn more_rounds_never_hurt_without_overheads() {
+        // With zero per-round overhead, pipelining is monotone beneficial.
+        let p = params();
+        let mut last = f64::INFINITY;
+        for r in 1..=8 {
+            let t = simulate_multiround(&p, r).makespan;
+            assert!(t <= last + 1e-12, "round {r}: {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn multiround_beats_single_round_strictly() {
+        let p = params();
+        let t1 = simulate_multiround(&p, 1).makespan;
+        let t4 = simulate_multiround(&p, 4).makespan;
+        assert!(t4 < t1, "pipelining should strictly help: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn one_port_respected() {
+        let res = simulate_multiround(&params(), 3);
+        for k in 1..res.bus.len() {
+            assert!(res.bus[k].2.start >= res.bus[k - 1].2.end - 1e-15);
+        }
+    }
+
+    #[test]
+    fn installments_execute_in_order_per_processor() {
+        let res = simulate_multiround(&params(), 4);
+        for segs in &res.compute {
+            assert_eq!(segs.len(), 4);
+            for k in 1..segs.len() {
+                assert!(segs[k].start >= segs[k - 1].end - 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn bus_utilization_bounded() {
+        let res = simulate_multiround(&params(), 2);
+        let u = res.bus_utilization();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn diminishing_returns() {
+        // The marginal gain of extra rounds shrinks (no overhead model, so
+        // gains monotonically approach the comm/compute overlap bound).
+        let p = params();
+        let t1 = simulate_multiround(&p, 1).makespan;
+        let t2 = simulate_multiround(&p, 2).makespan;
+        let t8 = simulate_multiround(&p, 8).makespan;
+        let t16 = simulate_multiround(&p, 16).makespan;
+        assert!(t1 - t2 > t8 - t16, "early rounds matter most");
+    }
+}

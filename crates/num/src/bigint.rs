@@ -1,0 +1,447 @@
+//! Arbitrary-precision signed integer: sign + [`BigUint`] magnitude.
+
+use crate::biguint::{BigUint, ParseBigUintError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+/// Sign of a [`BigInt`]. Zero always has [`Sign::Zero`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    fn product(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds from an explicit sign and magnitude (sign is normalized when
+    /// the magnitude is zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            let sign = if sign == Sign::Zero { Sign::Plus } else { sign };
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|` as an unsigned integer.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(Sign::Plus, self.mag.clone())
+    }
+
+    /// Parses a decimal string with optional leading `-` or `+`.
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseBigUintError> {
+        let (sign, rest) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        Ok(BigInt::from_sign_mag(sign, BigUint::from_dec_str(rest)?))
+    }
+
+    /// Truncated division returning `(quotient, remainder)` with
+    /// `self = q·d + r`, `|r| < |d|`, and `r` sharing `self`'s sign
+    /// (the convention of Rust's primitive `/` and `%`).
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        let (q_mag, r_mag) = self.mag.divrem(&divisor.mag);
+        let q = BigInt::from_sign_mag(self.sign.product(divisor.sign), q_mag);
+        let r = BigInt::from_sign_mag(self.sign, r_mag);
+        (q, r)
+    }
+
+    /// Floor division: `self = q·d + r` with `q = ⌊self/d⌋`, so the remainder
+    /// shares the *divisor*'s sign (and is non-negative for positive `d` —
+    /// the form modular arithmetic wants).
+    pub fn div_mod_floor(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        let (q, r) = self.divrem(divisor);
+        if r.is_zero() || r.is_negative() == divisor.is_negative() {
+            (q, r)
+        } else {
+            (&q - &BigInt::one(), &r + divisor)
+        }
+    }
+
+    /// `self mod m` in `[0, m)` for positive modulus `m`.
+    ///
+    /// # Panics
+    /// Panics if `m` is not strictly positive.
+    pub fn mod_floor(&self, m: &BigInt) -> BigInt {
+        assert!(m.is_positive(), "modulus must be positive");
+        self.div_mod_floor(m).1
+    }
+
+    /// Extended Euclidean algorithm: returns `(g, x, y)` with
+    /// `g = gcd(|a|, |b|)` and `a·x + b·y = g`.
+    pub fn extended_gcd(a: &BigInt, b: &BigInt) -> (BigInt, BigInt, BigInt) {
+        let (mut old_r, mut r) = (a.clone(), b.clone());
+        let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+        let (mut old_t, mut t) = (BigInt::zero(), BigInt::one());
+        while !r.is_zero() {
+            let (q, rem) = old_r.divrem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let ns = &old_s - &(&q * &s);
+            old_s = std::mem::replace(&mut s, ns);
+            let nt = &old_t - &(&q * &t);
+            old_t = std::mem::replace(&mut t, nt);
+        }
+        if old_r.is_negative() {
+            (-&old_r, -&old_s, -&old_t)
+        } else {
+            (old_r, old_s, old_t)
+        }
+    }
+
+    /// Converts to `i64`, returning `None` on overflow.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => i64::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Minus => -m,
+            _ => m,
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_sign_mag(Sign::Plus, mag)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        let sign = match v.cmp(&0) {
+            Ordering::Less => Sign::Minus,
+            Ordering::Equal => Sign::Zero,
+            Ordering::Greater => Sign::Plus,
+        };
+        BigInt::from_sign_mag(sign, BigUint::from(v.unsigned_abs()))
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_sign_mag(Sign::Plus, BigUint::from(v))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+            (Sign::Minus, _) => Ordering::Less,
+            (Sign::Zero, Sign::Minus) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Plus, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag,
+        }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, &self.mag + &rhs.mag),
+            _ => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag)
+                }
+                Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+            },
+        }
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_mag(self.sign.product(rhs.sign), &self.mag * &rhs.mag)
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.divrem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.divrem(rhs).1
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl std::str::FromStr for BigInt {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigInt::from_dec_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_normalization() {
+        assert_eq!(BigInt::from_sign_mag(Sign::Minus, BigUint::zero()), BigInt::zero());
+        assert!(!BigInt::zero().is_negative());
+        assert!(!BigInt::zero().is_positive());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(BigInt::from_dec_str("-123").unwrap(), int(-123));
+        assert_eq!(BigInt::from_dec_str("+123").unwrap(), int(123));
+        assert_eq!(BigInt::from_dec_str("-0").unwrap(), BigInt::zero());
+        assert_eq!(int(-45).to_string(), "-45");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        for a in -5i64..=5 {
+            for b in -5i64..=5 {
+                assert_eq!((&int(a) + &int(b)).to_i64(), Some(a + b), "{a}+{b}");
+                assert_eq!((&int(a) - &int(b)).to_i64(), Some(a - b), "{a}-{b}");
+                assert_eq!((&int(a) * &int(b)).to_i64(), Some(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_matches_rust_semantics() {
+        for a in [-100i64, -37, -1, 0, 1, 37, 100] {
+            for b in [-7i64, -3, 3, 7] {
+                let (q, r) = int(a).divrem(&int(b));
+                assert_eq!(q.to_i64(), Some(a / b), "{a}/{b}");
+                assert_eq!(r.to_i64(), Some(a % b), "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_division() {
+        let (q, r) = int(-7).div_mod_floor(&int(3));
+        assert_eq!((q.to_i64(), r.to_i64()), (Some(-3), Some(2)));
+        let (q, r) = int(7).div_mod_floor(&int(-3));
+        assert_eq!((q.to_i64(), r.to_i64()), (Some(-3), Some(-2)));
+        let (q, r) = int(-7).div_mod_floor(&int(-3));
+        assert_eq!((q.to_i64(), r.to_i64()), (Some(2), Some(-1)));
+        assert_eq!(int(-7).mod_floor(&int(3)).to_i64(), Some(2));
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for (a, b) in [(240i64, 46i64), (-240, 46), (240, -46), (0, 5), (5, 0), (12, 18)] {
+            let (g, x, y) = BigInt::extended_gcd(&int(a), &int(b));
+            let lhs = &(&int(a) * &x) + &(&int(b) * &y);
+            assert_eq!(lhs, g, "bezout for ({a},{b})");
+            let expected_g = {
+                let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+                while b != 0 {
+                    let t = a % b;
+                    a = b;
+                    b = t;
+                }
+                a
+            };
+            assert_eq!(g.to_i64(), Some(expected_g as i64));
+        }
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(int(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(int(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = &BigInt::from(i64::MAX as u64) + &BigInt::one();
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(int(-5) < int(-4));
+        assert!(int(-1) < BigInt::zero());
+        assert!(BigInt::zero() < int(1));
+        assert!(int(3) < int(10));
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(int(-12345).to_f64(), -12345.0);
+        assert_eq!(BigInt::zero().to_f64(), 0.0);
+    }
+}

@@ -1,0 +1,996 @@
+//! Arbitrary-precision unsigned integer.
+//!
+//! Little-endian `Vec<u32>` limb representation, normalized so the most
+//! significant limb is non-zero (zero is the empty vector). Every pairwise
+//! limb product fits in `u64`, which keeps the schoolbook kernels free of
+//! overflow gymnastics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, Div, Mul, Rem, Shl, Shr, Sub};
+
+/// Number of decimal digits that fit a single `u32` chunk when parsing and
+/// printing (10^9 < 2^32).
+const DEC_CHUNK_DIGITS: usize = 9;
+const DEC_CHUNK_RADIX: u32 = 1_000_000_000;
+
+/// Limb count above which multiplication switches from schoolbook to
+/// Karatsuba. Chosen empirically; correctness does not depend on it (property
+/// tests exercise both paths by straddling the threshold).
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zeros; empty == 0.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian `u32` limbs (trailing zeros allowed).
+    pub fn from_limbs_le(limbs: Vec<u32>) -> Self {
+        let mut v = BigUint { limbs };
+        v.normalize();
+        v
+    }
+
+    /// Returns the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is `0`.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// `true` iff the value is even (zero is even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits; `0` has zero bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the limb vector as needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let (limb, off) = (i / 32, i % 32);
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            v |= (l as u128) << (32 * i);
+        }
+        Some(v)
+    }
+
+    /// Lossy conversion to `f64` (round-to-nearest on the top 64 bits).
+    ///
+    /// Values above `f64::MAX` map to `f64::INFINITY`.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.to_u64().expect("fits by bit count") as f64;
+        }
+        // Take the top 64 bits and scale.
+        let shift = bits - 64;
+        let top = (self >> shift).to_u64().expect("64 bits by construction");
+        let mut v = top as f64;
+        // Multiply by 2^shift without overflowing intermediate exponents.
+        let mut remaining = shift;
+        while remaining > 0 {
+            let step = remaining.min(512);
+            v *= 2f64.powi(step as i32);
+            remaining -= step;
+        }
+        v
+    }
+
+    /// Parses a decimal string (ASCII digits only, no sign, underscores
+    /// permitted as separators).
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseBigUintError> {
+        let digits: Vec<u32> = {
+            let mut ds = Vec::with_capacity(s.len());
+            for c in s.chars() {
+                if c == '_' {
+                    continue;
+                }
+                match c.to_digit(10) {
+                    Some(d) => ds.push(d),
+                    None => {
+                        return Err(ParseBigUintError {
+                            kind: ParseErrorKind::InvalidDigit(c),
+                        })
+                    }
+                }
+            }
+            ds
+        };
+        if digits.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = BigUint::zero();
+        // Consume 9 digits at a time: acc = acc * 10^k + chunk.
+        let mut idx = 0;
+        while idx < digits.len() {
+            let take = (digits.len() - idx).min(DEC_CHUNK_DIGITS);
+            let mut chunk: u32 = 0;
+            let mut radix: u32 = 1;
+            for &d in &digits[idx..idx + take] {
+                chunk = chunk * 10 + d;
+                radix = radix.saturating_mul(10);
+            }
+            let radix = if take == DEC_CHUNK_DIGITS {
+                DEC_CHUNK_RADIX
+            } else {
+                radix
+            };
+            acc = acc.mul_small(radix);
+            acc = &acc + &BigUint::from(chunk);
+            idx += take;
+        }
+        Ok(acc)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, underscores permitted).
+    pub fn from_hex_str(s: &str) -> Result<Self, ParseBigUintError> {
+        let mut nibbles = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            match c.to_digit(16) {
+                Some(d) => nibbles.push(d),
+                None => {
+                    return Err(ParseBigUintError {
+                        kind: ParseErrorKind::InvalidDigit(c),
+                    })
+                }
+            }
+        }
+        if nibbles.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut limbs = vec![0u32; nibbles.len().div_ceil(8)];
+        for (i, &n) in nibbles.iter().rev().enumerate() {
+            limbs[i / 8] |= n << (4 * (i % 8));
+        }
+        Ok(BigUint::from_limbs_le(limbs))
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (`0` → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for &l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Parses from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = vec![0u32; bytes.len().div_ceil(4)];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 4] |= (b as u32) << (8 * (i % 4));
+        }
+        BigUint::from_limbs_le(limbs)
+    }
+
+    /// Multiplies by a single `u32` limb.
+    pub fn mul_small(&self, rhs: u32) -> BigUint {
+        if rhs == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for &l in &self.limbs {
+            let p = l as u64 * rhs as u64 + carry;
+            out.push(p as u32);
+            carry = p >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Divides by a single `u32`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `rhs == 0`.
+    pub fn divrem_small(&self, rhs: u32) -> (BigUint, u32) {
+        assert!(rhs != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 32) | l as u64;
+            out[i] = (cur / rhs as u64) as u32;
+            rem = cur % rhs as u64;
+        }
+        (BigUint::from_limbs_le(out), rem as u32)
+    }
+
+    /// Checked subtraction: `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            return None;
+        }
+        Some(sub_unchecked(&self.limbs, &rhs.limbs))
+    }
+
+    /// Euclidean division returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_small(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        knuth_d(self, divisor)
+    }
+
+    /// Raises `self` to the power `exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Integer square root (floor).
+    pub fn isqrt(&self) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        // Newton's method with an initial guess from the bit length.
+        let mut x = BigUint::one() << (self.bits().div_ceil(2));
+        loop {
+            // y = (x + self/x) / 2
+            let y = (&x + &(self / &x)).divrem_small(2).0;
+            if y >= x {
+                return x;
+            }
+            x = y;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Construction from primitives
+// ---------------------------------------------------------------------------
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_limbs_le(vec![v])
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs_le(vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs_le(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic kernels
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::needless_range_loop)] // indexing two slices in lockstep
+fn add_limbs(a: &[u32], b: &[u32]) -> BigUint {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: u64 = 0;
+    for i in 0..long.len() {
+        let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        out.push(s as u32);
+        carry = s >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    BigUint::from_limbs_le(out)
+}
+
+/// `a - b` assuming `a >= b`.
+#[allow(clippy::needless_range_loop)] // indexing two slices in lockstep
+fn sub_unchecked(a: &[u32], b: &[u32]) -> BigUint {
+    debug_assert!(a.len() >= b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: i64 = 0;
+    for i in 0..a.len() {
+        let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << 32)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+    BigUint::from_limbs_le(out)
+}
+
+fn mul_schoolbook(a: &[u32], b: &[u32]) -> BigUint {
+    if a.is_empty() || b.is_empty() {
+        return BigUint::zero();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai as u64 * bj as u64 + out[i + j] as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+    }
+    BigUint::from_limbs_le(out)
+}
+
+fn mul_karatsuba(a: &[u32], b: &[u32]) -> BigUint {
+    let n = a.len().min(b.len());
+    if n < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a0, a1) = split_at_clamped(a, half);
+    let (b0, b1) = split_at_clamped(b, half);
+
+    let a0 = BigUint::from_limbs_le(a0.to_vec());
+    let a1 = BigUint::from_limbs_le(a1.to_vec());
+    let b0 = BigUint::from_limbs_le(b0.to_vec());
+    let b1 = BigUint::from_limbs_le(b1.to_vec());
+
+    let z0 = mul_karatsuba(a0.limbs(), b0.limbs());
+    let z2 = mul_karatsuba(a1.limbs(), b1.limbs());
+    let sa = &a0 + &a1;
+    let sb = &b0 + &b1;
+    let z1_full = mul_karatsuba(sa.limbs(), sb.limbs());
+    // z1 = (a0+a1)(b0+b1) - z0 - z2  >= 0
+    let z1 = z1_full
+        .checked_sub(&z0)
+        .and_then(|t| t.checked_sub(&z2))
+        .expect("karatsuba middle term is non-negative");
+
+    (z2 << (64 * half)) + (z1 << (32 * half)) + z0
+}
+
+fn split_at_clamped(v: &[u32], at: usize) -> (&[u32], &[u32]) {
+    if at >= v.len() {
+        (v, &[])
+    } else {
+        v.split_at(at)
+    }
+}
+
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D: multi-limb division.
+fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
+    // Normalize: shift so the divisor's top limb has its high bit set.
+    let shift = den.limbs.last().expect("divisor >= 2 limbs").leading_zeros() as usize;
+    let u = num << shift; // dividend
+    let v = den << shift; // divisor
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // Working copy of the dividend with one extra high limb.
+    let mut us: Vec<u32> = u.limbs.clone();
+    us.push(0);
+    let vs: &[u32] = &v.limbs;
+    let vn1 = vs[n - 1] as u64;
+    let vn2 = vs[n - 2] as u64;
+
+    let mut q = vec![0u32; m + 1];
+
+    for j in (0..=m).rev() {
+        // Estimate q̂ = (u[j+n]·B + u[j+n-1]) / v[n-1], then correct.
+        let top = ((us[j + n] as u64) << 32) | us[j + n - 1] as u64;
+        let mut qhat = top / vn1;
+        let mut rhat = top % vn1;
+        while qhat >= 1u64 << 32
+            || qhat * vn2 > ((rhat << 32) | us[j + n - 2] as u64)
+        {
+            qhat -= 1;
+            rhat += vn1;
+            if rhat >= 1u64 << 32 {
+                break;
+            }
+        }
+
+        // Multiply-subtract: u[j..j+n] -= q̂ · v.
+        let mut borrow: i64 = 0;
+        let mut carry: u64 = 0;
+        for i in 0..n {
+            let p = qhat * vs[i] as u64 + carry;
+            carry = p >> 32;
+            let d = us[j + i] as i64 - (p as u32) as i64 - borrow;
+            if d < 0 {
+                us[j + i] = (d + (1i64 << 32)) as u32;
+                borrow = 1;
+            } else {
+                us[j + i] = d as u32;
+                borrow = 0;
+            }
+        }
+        let d = us[j + n] as i64 - carry as i64 - borrow;
+        if d < 0 {
+            // q̂ was one too large: add back.
+            us[j + n] = (d + (1i64 << 32)) as u32;
+            qhat -= 1;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let s = us[j + i] as u64 + vs[i] as u64 + carry;
+                us[j + i] = s as u32;
+                carry = s >> 32;
+            }
+            us[j + n] = us[j + n].wrapping_add(carry as u32);
+        } else {
+            us[j + n] = d as u32;
+        }
+        q[j] = qhat as u32;
+    }
+
+    let quotient = BigUint::from_limbs_le(q);
+    let remainder = BigUint::from_limbs_le(us[..n].to_vec()) >> shift;
+    (quotient, remainder)
+}
+
+// ---------------------------------------------------------------------------
+// Operator impls (reference forms are canonical; owned forms forward)
+// ---------------------------------------------------------------------------
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        add_limbs(&self.limbs, &rhs.limbs)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        &self - rhs
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        mul_karatsuba(&self.limbs, &rhs.limbs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Div for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).0
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).1
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        let mut out = vec![0u32; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            let v = (l as u64) << bit_shift;
+            out[i + limb_shift] |= v as u32;
+            out[i + limb_shift + 1] |= (v >> 32) as u32;
+        }
+        BigUint::from_limbs_le(out)
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        &self << bits
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let lo = self.limbs[i] >> bit_shift;
+            let hi = if bit_shift > 0 {
+                self.limbs
+                    .get(i + 1)
+                    .map_or(0, |&n| (n as u64) << (32 - bit_shift))
+                    as u32
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+        BigUint::from_limbs_le(out)
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        &self >> bits
+    }
+}
+
+impl BitAnd for &BigUint {
+    type Output = BigUint;
+    fn bitand(self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().min(rhs.limbs.len());
+        let out = (0..n).map(|i| self.limbs[i] & rhs.limbs[i]).collect();
+        BigUint::from_limbs_le(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^9 yields base-10^9 digits.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_small(DEC_CHUNK_RADIX);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::with_capacity(chunks.len() * DEC_CHUNK_DIGITS);
+        s.push_str(&chunks.last().unwrap().to_string());
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        write!(f, "{:x}", self.limbs.last().unwrap())?;
+        for l in self.limbs.iter().rev().skip(1) {
+            write!(f, "{l:08x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::from_dec_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_dec_str(s).unwrap()
+    }
+
+    #[test]
+    fn zero_properties() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert_eq!(z.bits(), 0);
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(z.to_u64(), Some(0));
+    }
+
+    #[test]
+    fn from_primitives_roundtrip() {
+        assert_eq!(BigUint::from(0u32).to_u64(), Some(0));
+        assert_eq!(BigUint::from(u32::MAX).to_u64(), Some(u32::MAX as u64));
+        assert_eq!(BigUint::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(BigUint::from(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!(BigUint::from(u64::MAX).to_u128(), Some(u64::MAX as u128));
+    }
+
+    #[test]
+    fn dec_parse_and_display() {
+        for s in [
+            "0",
+            "1",
+            "9",
+            "10",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+            "340282366920938463463374607431768211455", // u128::MAX
+        ] {
+            assert_eq!(big(s).to_string(), s, "roundtrip {s}");
+        }
+        assert_eq!(big("1_000_000"), BigUint::from(1_000_000u32));
+        assert!(BigUint::from_dec_str("").is_err());
+        assert!(BigUint::from_dec_str("12a").is_err());
+    }
+
+    #[test]
+    fn hex_parse_and_format() {
+        let v = BigUint::from_hex_str("deadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(format!("{v:x}"), "deadbeefcafebabe0123456789abcdef");
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+        assert_eq!(
+            BigUint::from_hex_str("ff").unwrap(),
+            BigUint::from(255u32)
+        );
+        assert!(BigUint::from_hex_str("xyz").is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = big("123456789012345678901234567890123456789");
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 7]), BigUint::from(7u32));
+        assert_eq!(BigUint::from(256u32).to_bytes_be(), vec![1, 0]);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::one();
+        let s = &a + &b;
+        assert_eq!(s.to_string(), "18446744073709551616");
+        assert_eq!(s.bits(), 65);
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = big("18446744073709551616"); // 2^64
+        let b = BigUint::one();
+        assert_eq!((a - &b).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn sub_underflow_checked() {
+        assert!(BigUint::one().checked_sub(&BigUint::from(2u32)).is_none());
+        assert_eq!(
+            BigUint::from(2u32).checked_sub(&BigUint::from(2u32)),
+            Some(BigUint::zero())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::one() - &BigUint::from(2u32);
+    }
+
+    #[test]
+    fn mul_known_answer() {
+        // Computed independently: 2^127 - 1 squared.
+        let m127 = (BigUint::one() << 127usize) - &BigUint::one();
+        let sq = &m127 * &m127;
+        assert_eq!(
+            sq.to_string(),
+            "28948022309329048855892746252171976962977213799489202546401021394546514198529"
+        );
+    }
+
+    #[test]
+    fn mul_karatsuba_matches_schoolbook() {
+        // Construct operands bigger than the Karatsuba threshold.
+        let mut limbs_a = Vec::new();
+        let mut limbs_b = Vec::new();
+        let mut x: u32 = 0x9e3779b9;
+        for i in 0..(KARATSUBA_THRESHOLD * 3) {
+            x = x.wrapping_mul(2654435761).wrapping_add(i as u32);
+            limbs_a.push(x);
+            x = x.rotate_left(13) ^ 0xabcdef01;
+            limbs_b.push(x);
+        }
+        let a = BigUint::from_limbs_le(limbs_a);
+        let b = BigUint::from_limbs_le(limbs_b);
+        assert_eq!(mul_karatsuba(a.limbs(), b.limbs()), mul_schoolbook(a.limbs(), b.limbs()));
+    }
+
+    #[test]
+    fn div_small_cases() {
+        let (q, r) = BigUint::from(100u32).divrem(&BigUint::from(7u32));
+        assert_eq!((q.to_u64(), r.to_u64()), (Some(14), Some(2)));
+        let (q, r) = BigUint::from(5u32).divrem(&BigUint::from(7u32));
+        assert_eq!((q.to_u64(), r.to_u64()), (Some(0), Some(5)));
+        let (q, r) = BigUint::from(7u32).divrem(&BigUint::from(7u32));
+        assert_eq!((q.to_u64(), r.to_u64()), (Some(1), Some(0)));
+    }
+
+    #[test]
+    fn div_multi_limb_known_answer() {
+        let n = big("123456789012345678901234567890123456789012345678901234567890");
+        let d = big("987654321098765432109876543210");
+        let (q, r) = n.divrem(&d);
+        // Verified by exact reconstruction below and magnitudes here.
+        assert_eq!(&(&q * &d) + &r, n);
+        assert!(r < d);
+        // Quotient and remainder verified against an independent
+        // arbitrary-precision implementation.
+        assert_eq!(q.to_string(), "124999998860937500014238281249");
+        assert_eq!(r.to_string(), "935329860093532986009353298600");
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // A case engineered to trigger the rare "add back" branch:
+        // u = B^2·(B-1), v = B·(B-1)+1 where B = 2^32 triggers qhat
+        // overestimation.
+        let b = BigUint::one() << 32usize;
+        let u = &(&b * &b) * &(&b - &BigUint::one());
+        let v = &(&b * &(&b - &BigUint::one())) + &BigUint::one();
+        let (q, r) = u.divrem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = big("123456789012345678901234567890");
+        assert_eq!(&(&v << 67) >> 67, v);
+        assert_eq!(&v >> 200, BigUint::zero());
+        assert_eq!(&v << 0, v);
+        assert_eq!(BigUint::one() << 32usize, big("4294967296"));
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut v = BigUint::zero();
+        v.set_bit(100, true);
+        assert!(v.bit(100));
+        assert!(!v.bit(99));
+        assert_eq!(v.bits(), 101);
+        v.set_bit(100, false);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn pow_known() {
+        assert_eq!(BigUint::from(2u32).pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(BigUint::from(7u32).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(5), BigUint::zero());
+    }
+
+    #[test]
+    fn isqrt_known() {
+        assert_eq!(BigUint::zero().isqrt(), BigUint::zero());
+        assert_eq!(BigUint::from(15u32).isqrt(), BigUint::from(3u32));
+        assert_eq!(BigUint::from(16u32).isqrt(), BigUint::from(4u32));
+        let big_square = big("123456789012345678901234567890").pow(2);
+        assert_eq!(big_square.isqrt(), big("123456789012345678901234567890"));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(BigUint::from(12345u32).to_f64(), 12345.0);
+        let v = BigUint::from(2u32).pow(100);
+        let expected = 2f64.powi(100);
+        assert!((v.to_f64() - expected).abs() / expected < 1e-15);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("100") > big("99"));
+        assert!(big("18446744073709551616") > big("18446744073709551615"));
+        assert_eq!(big("42").cmp(&big("42")), Ordering::Equal);
+    }
+}

@@ -1,0 +1,120 @@
+//! Modular arithmetic over [`BigUint`] — the kernel under the RSA-style
+//! signature substrate in `dls-crypto`.
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+
+/// `(a + b) mod m`.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn add_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    &(a + b) % m
+}
+
+/// `(a * b) mod m`.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn mul_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    &(a * b) % m
+}
+
+/// `base^exp mod m` by left-to-right square-and-multiply.
+///
+/// `pow_mod(_, 0, m) == 1 mod m`.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn pow_mod(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "zero modulus");
+    if m.is_one() {
+        return BigUint::zero();
+    }
+    let mut result = BigUint::one();
+    let base = base % m;
+    let nbits = exp.bits();
+    for i in (0..nbits).rev() {
+        result = mul_mod(&result, &result, m);
+        if exp.bit(i) {
+            result = mul_mod(&result, &base, m);
+        }
+    }
+    result
+}
+
+/// Modular inverse: `a^(-1) mod m` if `gcd(a, m) == 1`, else `None`.
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn inv_mod(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    assert!(!m.is_zero(), "zero modulus");
+    if m.is_one() {
+        return Some(BigUint::zero());
+    }
+    let ai = BigInt::from(a % m);
+    let mi = BigInt::from(m.clone());
+    let (g, x, _) = BigInt::extended_gcd(&ai, &mi);
+    if !g.magnitude().is_one() {
+        return None;
+    }
+    let inv = x.mod_floor(&mi);
+    Some(inv.magnitude().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn pow_mod_small() {
+        assert_eq!(pow_mod(&b(2), &b(10), &b(1000)), b(24));
+        assert_eq!(pow_mod(&b(3), &b(0), &b(7)), b(1));
+        assert_eq!(pow_mod(&b(0), &b(5), &b(7)), b(0));
+        assert_eq!(pow_mod(&b(5), &b(117), &b(1)), b(0));
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem: a^(p-1) ≡ 1 (mod p) for prime p ∤ a.
+        let p = b(1_000_000_007);
+        for a in [2u64, 3, 65_537, 999_999_999] {
+            assert_eq!(pow_mod(&b(a), &(&p - &b(1)), &p), b(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_mod_large_known_answer() {
+        // 2^1000 mod (2^89 - 1): verified via repeated squaring structure —
+        // 2^89 ≡ 1, so 2^1000 = 2^(89*11 + 21) ≡ 2^21.
+        let m = &(BigUint::one() << 89usize) - &BigUint::one();
+        assert_eq!(pow_mod(&b(2), &b(1000), &m), b(1 << 21));
+    }
+
+    #[test]
+    fn inv_mod_basics() {
+        assert_eq!(inv_mod(&b(3), &b(7)), Some(b(5)));
+        assert_eq!(inv_mod(&b(10), &b(17)), Some(b(12)));
+        assert_eq!(inv_mod(&b(6), &b(9)), None); // gcd = 3
+        assert_eq!(inv_mod(&b(5), &b(1)), Some(b(0)));
+    }
+
+    #[test]
+    fn inv_mod_roundtrip() {
+        let m = b(1_000_000_007);
+        for a in [2u64, 12345, 999_999_999, 65_537] {
+            let inv = inv_mod(&b(a), &m).expect("prime modulus");
+            assert_eq!(mul_mod(&b(a), &inv, &m), b(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn add_mul_mod() {
+        assert_eq!(add_mod(&b(8), &b(9), &b(10)), b(7));
+        assert_eq!(mul_mod(&b(8), &b(9), &b(10)), b(2));
+    }
+}

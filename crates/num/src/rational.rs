@@ -1,0 +1,443 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Always stored in lowest terms with a strictly positive denominator, so
+//! structural equality coincides with numeric equality. The DLT layer uses
+//! these to solve the allocation recursions exactly and to assert optimality
+//! conditions (Theorem 2.1) with zero tolerance.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use crate::gcd;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Error constructing a [`Rational`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RationalError {
+    /// A zero denominator was supplied.
+    ZeroDenominator,
+    /// The `f64` being converted was NaN or infinite.
+    NotFinite,
+}
+
+impl fmt::Display for RationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RationalError::ZeroDenominator => write!(f, "zero denominator"),
+            RationalError::NotFinite => write!(f, "value is NaN or infinite"),
+        }
+    }
+}
+
+impl std::error::Error for RationalError {}
+
+/// An exact rational number in lowest terms (`den > 0`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Constructs `num/den`, normalizing sign and reducing to lowest terms.
+    pub fn new(num: BigInt, den: BigInt) -> Result<Self, RationalError> {
+        if den.is_zero() {
+            return Err(RationalError::ZeroDenominator);
+        }
+        let mut r = Rational { num, den };
+        r.reduce();
+        Ok(r)
+    }
+
+    /// Constructs from an integer.
+    pub fn from_int(v: impl Into<BigInt>) -> Self {
+        Rational {
+            num: v.into(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Constructs from a primitive ratio, e.g. `Rational::from_ratio(1, 3)`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        Rational::new(BigInt::from(num), BigInt::from(den)).expect("non-zero denominator")
+    }
+
+    /// Exact conversion from a finite `f64` (every finite double is a binary
+    /// rational).
+    pub fn from_f64(v: f64) -> Result<Self, RationalError> {
+        if !v.is_finite() {
+            return Err(RationalError::NotFinite);
+        }
+        if v == 0.0 {
+            return Ok(Rational::zero());
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { Sign::Minus } else { Sign::Plus };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = bits & ((1u64 << 52) - 1);
+        // value = (-1)^s * mantissa * 2^(exp2), mantissa integer.
+        let (mantissa, exp2) = if exponent == 0 {
+            (fraction, -1074i64) // subnormal
+        } else {
+            (fraction | (1u64 << 52), exponent - 1075)
+        };
+        let mag = BigUint::from(mantissa);
+        let num = BigInt::from_sign_mag(sign, mag);
+        let r = if exp2 >= 0 {
+            let num = &num * &BigInt::from(BigUint::one() << exp2 as usize);
+            Rational { num, den: BigInt::one() }
+        } else {
+            let den = BigInt::from(BigUint::one() << (-exp2) as usize);
+            Rational::new(num, den).expect("den is a power of two")
+        };
+        Ok(r)
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "cannot invert zero");
+        let mut r = Rational {
+            num: self.den.clone(),
+            den: self.num.clone(),
+        };
+        r.fix_sign();
+        r
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Accurate to within one ULP for the magnitudes used in this workspace
+    /// (numerator/denominator each representable after scaling).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        // Scale so that the integer division num/den has ~80 significant
+        // bits, then divide as f64.
+        let nbits = self.num.magnitude().bits() as i64;
+        let dbits = self.den.magnitude().bits() as i64;
+        let shift = 96 - (nbits - dbits);
+        let (scaled_num, post_scale) = if shift > 0 {
+            (
+                BigInt::from_sign_mag(
+                    self.num.sign(),
+                    self.num.magnitude() << shift as usize,
+                ),
+                -shift,
+            )
+        } else {
+            (self.num.clone(), 0)
+        };
+        let q = (&scaled_num / &self.den).to_f64();
+        // Apply the 2^post_scale correction in steps so intermediates never
+        // underflow before the final (possibly subnormal) result.
+        let mut v = q;
+        let mut e = post_scale;
+        while e < 0 {
+            let step = (-e).min(512);
+            v *= 2f64.powi(-(step as i32));
+            e += step;
+        }
+        v
+    }
+
+    fn reduce(&mut self) {
+        self.fix_sign();
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        let g = gcd(self.num.magnitude(), self.den.magnitude());
+        if !g.is_one() {
+            let g = BigInt::from(g);
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    fn fix_sign(&mut self) {
+        if self.den.is_negative() {
+            self.num = -&self.num;
+            self.den = -&self.den;
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(BigInt::from(v))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &rhs.den) + &(&rhs.num * &self.den);
+        let den = &self.den * &rhs.den;
+        Rational::new(num, den).expect("product of non-zero denominators")
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        &self + &rhs
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        &self - &rhs
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+            .expect("product of non-zero denominators")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        &self * &rhs
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.recip()
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        &self / &rhs
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a·d ? c·b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_positive() && !self.den.abs().magnitude().is_one() {
+            write!(f, "{}/{}", self.num, self.den)
+        } else {
+            write!(f, "{}", self.num)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 5), Rational::zero());
+        assert!(Rational::new(BigInt::one(), BigInt::zero()).is_err());
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(&rat(1, 2) + &rat(1, 3), rat(5, 6));
+        assert_eq!(&rat(1, 2) - &rat(1, 3), rat(1, 6));
+        assert_eq!(&rat(2, 3) * &rat(3, 4), rat(1, 2));
+        assert_eq!(&rat(2, 3) / &rat(4, 3), rat(1, 2));
+        assert_eq!(rat(3, 7).recip(), rat(7, 3));
+        assert_eq!(rat(-3, 7).recip(), rat(-7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::zero().recip();
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(-1, 2) < Rational::zero());
+        assert_eq!(rat(4, 8).cmp(&rat(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(1, 2).to_string(), "1/2");
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-1, 2).to_string(), "-1/2");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn from_f64_exact() {
+        assert_eq!(Rational::from_f64(0.5).unwrap(), rat(1, 2));
+        assert_eq!(Rational::from_f64(-0.75).unwrap(), rat(-3, 4));
+        assert_eq!(Rational::from_f64(3.0).unwrap(), rat(3, 1));
+        assert_eq!(Rational::from_f64(0.0).unwrap(), Rational::zero());
+        assert!(Rational::from_f64(f64::NAN).is_err());
+        assert!(Rational::from_f64(f64::INFINITY).is_err());
+        // 0.1 is NOT 1/10 in binary; verify the exact bit value round-trips.
+        let tenth = Rational::from_f64(0.1).unwrap();
+        assert_eq!(tenth.to_f64(), 0.1);
+        assert_ne!(tenth, rat(1, 10));
+    }
+
+    #[test]
+    fn from_f64_subnormal() {
+        let tiny = f64::MIN_POSITIVE / 4.0; // subnormal
+        let r = Rational::from_f64(tiny).unwrap();
+        assert!(r.is_positive());
+        assert_eq!(r.to_f64(), tiny);
+    }
+
+    #[test]
+    fn to_f64_roundtrip_fractions() {
+        for (n, d) in [(1i64, 3i64), (22, 7), (-355, 113), (1, 1_000_000_007)] {
+            let r = rat(n, d);
+            let expected = n as f64 / d as f64;
+            let got = r.to_f64();
+            assert!(
+                (got - expected).abs() <= expected.abs() * 1e-15 + 1e-300,
+                "{n}/{d}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_cancellation() {
+        // (1/3 + 1/3 + 1/3) - 1 == 0 exactly.
+        let third = rat(1, 3);
+        let one = Rational::one();
+        let sum = &(&(&third + &third) + &third) - &one;
+        assert!(sum.is_zero());
+    }
+}

@@ -1,0 +1,174 @@
+//! Conservation-checked accounting: every payment, fine and reward is a
+//! transfer between two accounts, so the ledger always sums to zero. This
+//! models the paper's assumed "payment infrastructure".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An account in the payment infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Account {
+    /// The job-submitting user paying for the computation.
+    User,
+    /// Computing processor `i` (0-based).
+    Processor(usize),
+    /// The referee's escrow for collected fines awaiting distribution.
+    FinePool,
+}
+
+impl fmt::Display for Account {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Account::User => write!(f, "user"),
+            Account::Processor(i) => write!(f, "P{}", i + 1),
+            Account::FinePool => write!(f, "fine-pool"),
+        }
+    }
+}
+
+/// Why a transfer happened — kept on every entry so experiments can slice
+/// the flows (payments vs fines vs rewards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferReason {
+    /// Mechanism payment `Q_i` from the user.
+    Payment,
+    /// Fine `F` levied on a deviant.
+    Fine,
+    /// Distribution of collected fines to informers/non-deviants.
+    Reward,
+    /// Compensation `α_i·w̃_i` to processors that worked before an abort.
+    AbortCompensation,
+}
+
+/// One transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// Paying account.
+    pub from: Account,
+    /// Receiving account.
+    pub to: Account,
+    /// Amount (always ≥ 0; direction carries the sign).
+    pub amount: f64,
+    /// Why.
+    pub reason: TransferReason,
+}
+
+/// The ledger: a journal of transfers plus derived balances.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    journal: Vec<Transfer>,
+    balances: BTreeMap<Account, f64>,
+}
+
+impl Ledger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records a transfer.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite amounts (amounts carry no sign) and
+    /// self-transfers.
+    pub fn transfer(&mut self, from: Account, to: Account, amount: f64, reason: TransferReason) {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "invalid transfer amount {amount}"
+        );
+        assert_ne!(from, to, "self-transfer");
+        if amount == 0.0 {
+            return;
+        }
+        *self.balances.entry(from.clone()).or_insert(0.0) -= amount;
+        *self.balances.entry(to.clone()).or_insert(0.0) += amount;
+        self.journal.push(Transfer {
+            from,
+            to,
+            amount,
+            reason,
+        });
+    }
+
+    /// Balance of `account` (0 if never touched). Positive means the
+    /// account received more than it paid.
+    pub fn balance(&self, account: &Account) -> f64 {
+        self.balances.get(account).copied().unwrap_or(0.0)
+    }
+
+    /// The journal, in order.
+    pub fn journal(&self) -> &[Transfer] {
+        &self.journal
+    }
+
+    /// Sum of all balances — must always be ~0 (money is only moved,
+    /// never created).
+    pub fn conservation_error(&self) -> f64 {
+        self.balances.values().sum()
+    }
+
+    /// Total volume moved for a given reason.
+    pub fn volume(&self, reason: TransferReason) -> f64 {
+        self.journal
+            .iter()
+            .filter(|t| t.reason == reason)
+            .map(|t| t.amount)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balances_track_transfers() {
+        let mut l = Ledger::new();
+        l.transfer(Account::User, Account::Processor(0), 2.5, TransferReason::Payment);
+        l.transfer(Account::User, Account::Processor(1), 1.5, TransferReason::Payment);
+        assert_eq!(l.balance(&Account::User), -4.0);
+        assert_eq!(l.balance(&Account::Processor(0)), 2.5);
+        assert_eq!(l.balance(&Account::Processor(2)), 0.0);
+        assert_eq!(l.journal().len(), 2);
+    }
+
+    #[test]
+    fn conservation_always_zero() {
+        let mut l = Ledger::new();
+        l.transfer(Account::Processor(3), Account::FinePool, 10.0, TransferReason::Fine);
+        l.transfer(Account::FinePool, Account::Processor(0), 5.0, TransferReason::Reward);
+        l.transfer(Account::FinePool, Account::Processor(1), 5.0, TransferReason::Reward);
+        assert!(l.conservation_error().abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_by_reason() {
+        let mut l = Ledger::new();
+        l.transfer(Account::Processor(0), Account::FinePool, 7.0, TransferReason::Fine);
+        l.transfer(Account::User, Account::Processor(1), 3.0, TransferReason::Payment);
+        assert_eq!(l.volume(TransferReason::Fine), 7.0);
+        assert_eq!(l.volume(TransferReason::Payment), 3.0);
+        assert_eq!(l.volume(TransferReason::Reward), 0.0);
+    }
+
+    #[test]
+    fn zero_transfers_skipped() {
+        let mut l = Ledger::new();
+        l.transfer(Account::User, Account::Processor(0), 0.0, TransferReason::Payment);
+        assert!(l.journal().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transfer amount")]
+    fn rejects_negative() {
+        let mut l = Ledger::new();
+        l.transfer(Account::User, Account::Processor(0), -1.0, TransferReason::Payment);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn rejects_self_transfer() {
+        let mut l = Ledger::new();
+        l.transfer(Account::User, Account::User, 1.0, TransferReason::Payment);
+    }
+}

@@ -1,0 +1,264 @@
+//! Protocol messages. Every body that crosses the (simulated) network is
+//! wrapped in a [`Signed`] envelope, matching the paper's `S_β(m)` notation.
+
+use crate::blocks::SignedBlock;
+use dls_crypto::Signed;
+use serde::Serialize;
+
+/// A processor's signed bid `S_{P_i}(b_i, P_i)` (Bidding phase).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BidBody {
+    /// 0-based processor index `i`.
+    pub processor: usize,
+    /// The reported unit-processing time `b_i`.
+    pub bid: f64,
+}
+
+/// The load grant the originator sends to one processor (Allocating phase).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GrantBody {
+    /// Recipient processor index.
+    pub to: usize,
+    /// The user-signed blocks assigned to the recipient.
+    pub blocks: Vec<SignedBlock>,
+}
+
+/// One entry of the payment vector `Q`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PaymentEntry {
+    /// Compensation `C_i`.
+    pub compensation: f64,
+    /// Bonus `B_i`.
+    pub bonus: f64,
+}
+
+impl PaymentEntry {
+    /// Total payment `Q_i`.
+    pub fn total(&self) -> f64 {
+        self.compensation + self.bonus
+    }
+}
+
+/// A processor's signed payment vector `S_{P_i}(P_i, Q)` (Computing
+/// Payments phase).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PaymentVectorBody {
+    /// Sender index.
+    pub processor: usize,
+    /// The full vector `Q = (Q_1 … Q_m)`.
+    pub q: Vec<PaymentEntry>,
+}
+
+/// Evidence attached to a referee report.
+#[derive(Debug, Clone)]
+pub enum Evidence {
+    /// Two authenticated, contradictory bids from the same processor
+    /// (Bidding-phase offence).
+    Equivocation {
+        /// First signed bid.
+        first: Signed<BidBody>,
+        /// Second, different signed bid from the same signer.
+        second: Signed<BidBody>,
+    },
+    /// The reporter's grant disagrees with the allocation it computed.
+    /// Both parties' signed bid vectors allow the referee to recompute
+    /// `α(b)`; the signed grant proves what the originator actually sent.
+    WrongAllocation {
+        /// The signed grant the reporter received.
+        grant: Signed<GrantBody>,
+        /// The signed bids the reporter collected (its view of `b`).
+        bid_view: Vec<Signed<BidBody>>,
+        /// Blocks the reporter expected (from its own α computation).
+        expected_blocks: usize,
+    },
+}
+
+/// A processor's end-of-phase message to the referee: either "no problem"
+/// or an accusation with evidence.
+#[derive(Debug, Clone)]
+pub enum PhaseReport {
+    /// Nothing to report.
+    Ok,
+    /// Accusation with evidence.
+    Accuse {
+        /// The accused processor.
+        accused: usize,
+        /// Supporting evidence.
+        evidence: Evidence,
+    },
+}
+
+/// Everything a processor can put on the wire.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Broadcast signed bid.
+    Bid(Signed<BidBody>),
+    /// Unicast load grant from the originator.
+    Grant(Signed<GrantBody>),
+    /// Tamper-proof meter reading `φ_i` forwarded to the referee. This
+    /// message is emitted by the *meter hardware*, not the strategic
+    /// processor, so its value is outside the agent's control (§4,
+    /// Processing phase).
+    Meter {
+        /// Metered processor.
+        of: usize,
+        /// Measured execution time `φ_i`.
+        phi: f64,
+    },
+    /// Referee: per-processor measured execution times `(φ_1…φ_m)`.
+    Meters(Vec<f64>),
+    /// Signed payment vector to the referee.
+    PaymentVector(Signed<PaymentVectorBody>),
+    /// Referee → all: payment vectors disagreed; submit your signed bid
+    /// views (§4: "the bids are provided to the referee which computes the
+    /// payments").
+    BidRequest,
+    /// Processor → referee: its collected signed bid vector.
+    BidView {
+        /// Submitting processor.
+        from: usize,
+        /// The signed bids it collected during the Bidding phase.
+        view: Vec<Signed<BidBody>>,
+    },
+    /// End-of-phase report to the referee.
+    Report {
+        /// Reporting processor.
+        from: usize,
+        /// The report.
+        report: PhaseReport,
+    },
+    /// Referee verdict broadcast after each phase.
+    Verdict(Verdict),
+}
+
+impl Msg {
+    /// Rough wire size in bytes: canonical body bytes + signature, or a
+    /// fixed overhead for unsigned control messages. Used by the
+    /// communication-complexity accounting (Theorem 5.4).
+    pub fn wire_size(&self) -> usize {
+        fn signed_size<T: Serialize>(s: &Signed<T>) -> usize {
+            dls_crypto::canon::to_bytes(s.body_unverified())
+                .map(|b| b.len())
+                .unwrap_or(0)
+                + s.signature().0.len()
+        }
+        match self {
+            Msg::Bid(s) => signed_size(s),
+            Msg::Grant(s) => signed_size(s),
+            Msg::Meter { .. } => 16,
+            Msg::Meters(v) => 8 * v.len() + 8,
+            Msg::PaymentVector(s) => signed_size(s),
+            Msg::BidRequest => 8,
+            Msg::BidView { view, .. } => {
+                8 + view.iter().map(signed_size).sum::<usize>()
+            }
+            Msg::Report { report, .. } => match report {
+                PhaseReport::Ok => 16,
+                PhaseReport::Accuse { evidence, .. } => match evidence {
+                    Evidence::Equivocation { first, second } => {
+                        16 + signed_size(first) + signed_size(second)
+                    }
+                    Evidence::WrongAllocation {
+                        grant, bid_view, ..
+                    } => {
+                        16 + signed_size(grant)
+                            + bid_view.iter().map(signed_size).sum::<usize>()
+                    }
+                },
+            },
+            Msg::Verdict(v) => 16 + 16 * (v.fined.len() + v.rewards.len()),
+        }
+    }
+
+    /// Category for the per-phase communication accounting.
+    pub fn category(&self) -> MsgCategory {
+        match self {
+            Msg::Bid(_) => MsgCategory::Bid,
+            Msg::Grant(_) => MsgCategory::Grant,
+            Msg::Meter { .. } | Msg::Meters(_) => MsgCategory::Control,
+            Msg::PaymentVector(_) => MsgCategory::PaymentVector,
+            Msg::BidRequest | Msg::BidView { .. } => MsgCategory::Control,
+            Msg::Report { .. } => MsgCategory::Control,
+            Msg::Verdict(_) => MsgCategory::Control,
+        }
+    }
+}
+
+/// Coarse message classes used by experiment E10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgCategory {
+    /// Bidding-phase broadcasts (Θ(m²) deliveries).
+    Bid,
+    /// Load grants (Θ(m) messages, payload ∝ blocks).
+    Grant,
+    /// Payment vectors (Θ(m) messages × Θ(m) size = Θ(m²) cost — the
+    /// dominant term of Theorem 5.4).
+    PaymentVector,
+    /// Referee coordination (reports, verdicts, meters).
+    Control,
+}
+
+/// The referee's decision at a phase boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Whether the protocol continues to the next phase.
+    pub proceed: bool,
+    /// Processors fined in this phase and the amount each pays.
+    pub fined: Vec<(usize, f64)>,
+    /// Rewards/compensation paid out of the fine pool `(processor,
+    /// amount)`.
+    pub rewards: Vec<(usize, f64)>,
+}
+
+impl Verdict {
+    /// The all-clear verdict.
+    pub fn ok() -> Self {
+        Verdict {
+            proceed: true,
+            fined: Vec::new(),
+            rewards: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payment_entry_total() {
+        let e = PaymentEntry {
+            compensation: 1.5,
+            bonus: -0.25,
+        };
+        assert_eq!(e.total(), 1.25);
+    }
+
+    #[test]
+    fn verdict_ok_proceeds() {
+        let v = Verdict::ok();
+        assert!(v.proceed);
+        assert!(v.fined.is_empty());
+    }
+
+    #[test]
+    fn wire_sizes_positive_and_ordered() {
+        let meters = Msg::Meters(vec![1.0; 8]);
+        assert!(meters.wire_size() > 0);
+        let big = Msg::Meters(vec![1.0; 64]);
+        assert!(big.wire_size() > meters.wire_size());
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(Msg::Meters(vec![]).category(), MsgCategory::Control);
+        assert_eq!(
+            Msg::Report {
+                from: 0,
+                report: PhaseReport::Ok
+            }
+            .category(),
+            MsgCategory::Control
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Architecture planner: given a pool of processors and a communication
+//! rate, compare every scheduling architecture this workspace implements —
+//! the three bus models of the paper, the linear daisy-chain extension, and
+//! the multi-installment pipeline — and report which one finishes the load
+//! first.
+//!
+//! ```text
+//! cargo run -p dls-examples --bin architecture_planner
+//! cargo run -p dls-examples --bin architecture_planner -- 0.4 1.0 1.2 2.0 3.5
+//! ```
+
+use dls::dlt::{linear, optimal, BusParams, ALL_MODELS};
+use dls::netsim::multiround::simulate_multiround;
+
+fn main() {
+    // z followed by processor rates, or a default scenario.
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric arguments: z w1 w2 ..."))
+        .collect();
+    let (z, w) = if args.len() >= 3 {
+        (args[0], args[1..].to_vec())
+    } else {
+        (0.25, vec![1.0, 1.4, 1.9, 2.6, 3.2])
+    };
+    println!("planning for z = {z}, w = {w:?}\n");
+
+    let bus = BusParams::new(z, w.clone()).unwrap();
+    let solo = w.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let mut options: Vec<(String, f64)> = Vec::new();
+    options.push(("fastest processor alone".into(), solo));
+    for model in ALL_MODELS {
+        options.push((
+            format!("{model} (single round)"),
+            optimal::optimal_makespan(model, &bus),
+        ));
+    }
+    let chain = linear::LinearParams::uniform_links(z, w.clone()).unwrap();
+    options.push((
+        "linear daisy chain (store-and-forward)".into(),
+        linear::optimal_makespan(&chain),
+    ));
+    for r in [2usize, 4, 8] {
+        options.push((
+            format!("BUS-LINEAR-CP, {r} installments"),
+            simulate_multiround(&bus, r).makespan,
+        ));
+    }
+
+    options.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("{:<44} {:>10} {:>10}", "architecture", "makespan", "speedup");
+    for (name, t) in &options {
+        println!("{name:<44} {t:>10.4} {:>10.2}", solo / t);
+    }
+    println!(
+        "\nbest: {} ({:.4})",
+        options[0].0, options[0].1
+    );
+    if !bus.in_dlt_regime() {
+        println!(
+            "warning: z >= min(w): outside the classical DLT regime — distributing\n\
+             load may not beat local computation (see DESIGN.md)."
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Network comparison: the three bus-system models of §2 side by side —
+//! regenerating the timing diagrams of Figures 1–3 for one scenario and
+//! sweeping the communication rate to show where each architecture's
+//! makespan lands and how speedup collapses as the bus saturates.
+//!
+//! ```text
+//! cargo run -p dls-examples --bin network_comparison
+//! ```
+
+use dls::dlt::{diagnostics, optimal, BusParams, ALL_MODELS};
+use dls::netsim::{gantt, simulate, SessionSpec};
+
+fn main() {
+    let w = vec![1.0, 1.5, 2.0, 2.5, 3.0];
+    let z = 0.2;
+
+    // --- Figures 1-3: execution timing diagrams ----------------------------
+    for model in ALL_MODELS {
+        let params = BusParams::new(z, w.clone()).unwrap();
+        let alloc = optimal::fractions(model, &params);
+        let tl = simulate(&SessionSpec::new(model, params, alloc));
+        println!("=== {model} (makespan {:.4}) ===", tl.makespan);
+        println!("{}", gantt::render_default(&tl));
+    }
+
+    // --- Makespan vs communication rate -------------------------------------
+    println!("\nOptimal makespan vs z (w = {w:?}):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "z", "CP", "NCP-FE", "NCP-NFE", "speedup(FE)"
+    );
+    for k in 0..=10 {
+        let z = 0.05 * k as f64;
+        let params = BusParams::new(z, w.clone()).unwrap();
+        let mk: Vec<f64> = ALL_MODELS
+            .iter()
+            .map(|&m| optimal::optimal_makespan(m, &params))
+            .collect();
+        println!(
+            "{:>6.2} {:>12.4} {:>12.4} {:>12.4} {:>10.2}",
+            z,
+            mk[0],
+            mk[1],
+            mk[2],
+            diagnostics::speedup(dls::SystemModel::NcpFe, &params)
+        );
+    }
+    println!("\nNCP-FE always wins (the originator computes for free while it sends);");
+    println!("CP always pays the extra bus transfer of the first fraction.");
+}

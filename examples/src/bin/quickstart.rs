@@ -1,0 +1,62 @@
+//! Quickstart: schedule a divisible load across four strategic processors
+//! on a bus without a control processor, run the full DLS-BL-NCP protocol
+//! and print the allocation, the realized timeline and the payments.
+//!
+//! ```text
+//! cargo run -p dls-examples --bin quickstart
+//! ```
+
+use dls::{quick, Session, SystemModel};
+
+fn main() {
+    let z = 0.2; // bus: time to move one unit of load
+    let rates = [1.0, 1.6, 2.2, 3.0]; // w_i: time to compute one unit
+
+    // --- Pure DLT: what is the optimal schedule? ---------------------------
+    let alloc = quick::allocate(SystemModel::NcpFe, z, &rates).unwrap();
+    let makespan = quick::makespan(SystemModel::NcpFe, z, &rates).unwrap();
+    println!("Optimal allocation (Algorithm 2.1, NCP-FE):");
+    for (i, a) in alloc.iter().enumerate() {
+        println!("  P{}: α = {a:.4}  (w = {})", i + 1, rates[i]);
+    }
+    println!("Optimal makespan: {makespan:.4}\n");
+    println!("{}", quick::gantt(SystemModel::NcpFe, z, &rates).unwrap());
+
+    // --- The full strategyproof protocol -----------------------------------
+    let outcome = Session::ncp_fe(z)
+        .worker(rates[0])
+        .worker(rates[1])
+        .worker(rates[2])
+        .worker(rates[3])
+        .seed(2024)
+        .run()
+        .unwrap();
+
+    println!("\nDLS-BL-NCP session: {:?}", outcome.status);
+    println!(
+        "messages: {} ({} bytes)",
+        outcome.messages.total_messages(),
+        outcome.messages.total_bytes()
+    );
+    println!("{:<6}{:>8}{:>10}{:>12}{:>12}{:>12}", "proc", "bid", "blocks", "comp", "bonus", "utility");
+    for (i, p) in outcome.processors.iter().enumerate() {
+        let q = p.payment.expect("completed session");
+        println!(
+            "{:<6}{:>8.2}{:>10}{:>12.4}{:>12.4}{:>12.4}",
+            format!("P{}", i + 1),
+            p.bid.unwrap(),
+            p.blocks_granted,
+            q.compensation,
+            q.bonus,
+            p.utility
+        );
+    }
+    println!(
+        "\nrealized makespan: {:.4} (optimal {makespan:.4})",
+        outcome.makespan.unwrap()
+    );
+    println!(
+        "ledger conservation error: {:.2e}",
+        outcome.ledger.conservation_error()
+    );
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the example binaries live in the binaries themselves;
+//! this crate exists to host the `src/bin/*.rs` examples as a workspace member.

@@ -1,0 +1,2 @@
+//! This crate exists to host integration tests spanning the workspace crates
+//! (see the `tests/` directory of this package).

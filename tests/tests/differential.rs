@@ -1,0 +1,81 @@
+//! Differential testing: three independent implementations of the DLS-BL
+//! payment pipeline — the trusted in-process market (`dls-mechanism`), the
+//! centralized protocol baseline (`dls-protocol::centralized`), and the
+//! exact-rational oracle (`dls-mechanism::exact`) — must agree on random
+//! compliant markets.
+
+use dls::mechanism::exact::compute_payments_exact;
+use dls::mechanism::{AgentSpec, Market};
+use dls::num::Rational;
+use dls::protocol::centralized::run_centralized;
+use dls::protocol::config::{Behavior, ProcessorConfig, SessionConfig};
+use dls::SystemModel;
+use proptest::prelude::*;
+
+/// Exactly representable rates so f64 and rational pipelines see the same
+/// numbers: k/16 with k in a positive range.
+fn arb_rates() -> impl Strategy<Value = (f64, Vec<f64>)> {
+    (
+        1u32..8,
+        prop::collection::vec(16u32..128, 2..7),
+    )
+        .prop_map(|(zk, wk)| {
+            (
+                zk as f64 / 16.0,
+                wk.into_iter().map(|k| k as f64 / 16.0).collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn market_equals_exact_oracle((z, w) in arb_rates()) {
+        for model in dls::dlt::ALL_MODELS {
+            let market = Market::new(
+                model, z,
+                w.iter().map(|&x| AgentSpec::truthful(x)).collect(),
+            ).unwrap().run();
+            let bids: Vec<Rational> =
+                w.iter().map(|&x| Rational::from_f64(x).unwrap()).collect();
+            let exact = compute_payments_exact(
+                model,
+                &Rational::from_f64(z).unwrap(),
+                &bids,
+                &bids,
+            );
+            for (f, e) in market.payments.iter().zip(&exact) {
+                prop_assert!(
+                    (f.compensation - e.compensation.to_f64()).abs() < 1e-10,
+                    "{}: comp {} vs {}", model, f.compensation, e.compensation.to_f64()
+                );
+                prop_assert!(
+                    (f.bonus - e.bonus.to_f64()).abs() < 1e-10,
+                    "{}: bonus {} vs {}", model, f.bonus, e.bonus.to_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centralized_baseline_equals_market((z, w) in arb_rates()) {
+        let cfg = SessionConfig::builder(SystemModel::Cp, z)
+            .processors(w.iter().map(|&x| ProcessorConfig::new(x, Behavior::Compliant)))
+            .seed(6)
+            .blocks(8 * w.len())
+            .build()
+            .unwrap();
+        let central = run_centralized(&cfg).unwrap();
+        let market = Market::new(
+            SystemModel::Cp, z,
+            w.iter().map(|&x| AgentSpec::truthful(x)).collect(),
+        ).unwrap().run();
+        for i in 0..w.len() {
+            prop_assert!(
+                (central.payments[i].total() - market.payments[i].total()).abs() < 1e-10
+            );
+            prop_assert!((central.utilities[i] - market.utility(i)).abs() < 1e-10);
+        }
+    }
+}

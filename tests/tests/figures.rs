@@ -1,0 +1,89 @@
+//! Structural snapshot tests for the regenerated Figures 1–3: the Gantt
+//! output must exhibit exactly the qualitative features the paper's
+//! diagrams show.
+
+use dls::dlt::{optimal, BusParams, SystemModel};
+use dls::netsim::{gantt, simulate, SessionSpec};
+
+fn figure(model: SystemModel) -> (String, Vec<f64>) {
+    let params = BusParams::new(0.2, vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let alloc = optimal::fractions(model, &params);
+    let tl = simulate(&SessionSpec::new(model, params, alloc));
+    (gantt::render_default(&tl), tl.finish_times())
+}
+
+fn bar_end(line: &str) -> usize {
+    line.rfind(['#', '|']).unwrap_or(0)
+}
+
+#[test]
+fn figure1_cp_structure() {
+    let (g, finish) = figure(SystemModel::Cp);
+    let lines: Vec<&str> = g.lines().collect();
+    let comm = lines[0];
+    // All five fractions cross the bus, in order a1..a5.
+    for i in 1..=5 {
+        assert!(comm.contains(&format!("a{i}")), "a{i} missing:\n{g}");
+    }
+    let positions: Vec<usize> = (1..=5)
+        .map(|i| comm.find(&format!("a{i}")).unwrap())
+        .collect();
+    assert!(positions.windows(2).all(|w| w[0] < w[1]), "bus order a1..a5");
+    // No worker computes from t=0 (everyone waits for its transfer).
+    for line in &lines[1..6] {
+        let first_mark = line.find('|').unwrap();
+        assert!(first_mark > 8, "CP worker starts late: {line:?}");
+    }
+    // Simultaneous finish (Theorem 2.1) — all bars end at the same column.
+    let ends: Vec<usize> = lines[1..6].iter().map(|l| bar_end(l)).collect();
+    assert!(ends.iter().all(|&e| e.abs_diff(ends[0]) <= 1), "{ends:?}");
+    let spread = finish.iter().cloned().fold(f64::MIN, f64::max)
+        - finish.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1e-12);
+}
+
+#[test]
+fn figure2_ncp_fe_structure() {
+    let (g, _) = figure(SystemModel::NcpFe);
+    let lines: Vec<&str> = g.lines().collect();
+    let comm = lines[0];
+    // The originator's fraction never crosses the bus: first transfer is a2.
+    assert!(!comm.contains("a1"), "a1 must not appear:\n{g}");
+    assert!(comm.contains("a2") && comm.contains("a5"));
+    // P1 computes from the left edge (front end).
+    let p1 = lines[1];
+    assert!(p1.find('|').unwrap() <= 6, "P1 should start at t=0: {p1:?}");
+    // Everyone still finishes together.
+    let ends: Vec<usize> = lines[1..6].iter().map(|l| bar_end(l)).collect();
+    assert!(ends.iter().all(|&e| e.abs_diff(ends[0]) <= 1), "{ends:?}");
+}
+
+#[test]
+fn figure3_ncp_nfe_structure() {
+    let (g, _) = figure(SystemModel::NcpNfe);
+    let lines: Vec<&str> = g.lines().collect();
+    let comm = lines[0];
+    // P5 is the originator: transfers a1..a4 only.
+    assert!(comm.contains("a1") && comm.contains("a4"));
+    assert!(!comm.contains("a5"), "a5 must not appear:\n{g}");
+    // P5 computes only after the last send: its bar starts where the comm
+    // row ends.
+    let comm_end = bar_end(comm);
+    let p5_start = lines[5].find('|').unwrap();
+    assert!(
+        p5_start.abs_diff(comm_end) <= 1,
+        "P5 starts at {p5_start}, comm ends at {comm_end}:\n{g}"
+    );
+    let ends: Vec<usize> = lines[1..6].iter().map(|l| bar_end(l)).collect();
+    assert!(ends.iter().all(|&e| e.abs_diff(ends[0]) <= 1), "{ends:?}");
+}
+
+#[test]
+fn cp_is_strictly_slower_than_ncp_fe_on_the_figure_scenario() {
+    // Visible in the figures: the CP diagram is wider (0.4765 vs 0.3971).
+    let p = BusParams::new(0.2, vec![1.0, 1.5, 2.0, 2.5, 3.0]).unwrap();
+    let t_cp = optimal::optimal_makespan(SystemModel::Cp, &p);
+    let t_fe = optimal::optimal_makespan(SystemModel::NcpFe, &p);
+    let t_nfe = optimal::optimal_makespan(SystemModel::NcpNfe, &p);
+    assert!(t_fe < t_nfe && t_nfe < t_cp, "{t_fe} < {t_nfe} < {t_cp}");
+}

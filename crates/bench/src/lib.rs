@@ -1,2 +1,5 @@
 //! Shared workload generators for the benchmark harness live in the harness binaries; this lib hosts common helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod workloads;

@@ -151,16 +151,26 @@ impl ser::Serializer for &mut CanonSerializer {
         Ok(())
     }
 
+    // The serializer must cover the full serde data model, floats
+    // included — message bodies carry f64 bids and meters. The float path
+    // only canonicalizes the bit pattern (NaN payload, -0.0); it never
+    // does arithmetic, so the exact-payment guarantee is untouched.
+    // dls-lint: allow(no-float-in-exact) -- serde surface: widen f32 to the canonical f64 wire form
     fn serialize_f32(self, v: f32) -> Result<(), CanonError> {
+        // dls-lint: allow(no-float-in-exact) -- bit-level widening, no arithmetic
         self.serialize_f64(v as f64)
     }
 
+    // dls-lint: allow(no-float-in-exact) -- serde surface: floats are serialized by bit pattern only
     fn serialize_f64(self, v: f64) -> Result<(), CanonError> {
         self.put_tag(tag::F64);
         // Canonicalize the NaN payload and -0.0 so equal numbers sign equal.
         let v = if v.is_nan() {
+            // dls-lint: allow(no-float-in-exact) -- canonical NaN bit pattern
             f64::NAN
+            // dls-lint: allow(no-float-in-exact) -- -0.0 folds to +0.0 for signing
         } else if v == 0.0 {
+            // dls-lint: allow(no-float-in-exact) -- canonical zero bit pattern
             0.0
         } else {
             v

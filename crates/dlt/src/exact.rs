@@ -35,6 +35,7 @@ impl ExactParams {
     ///
     /// # Panics
     /// Panics if any value is NaN/infinite or violates the sign constraints.
+    // dls-lint: allow(no-float-in-exact) -- conversion boundary: floats enter the exact domain here, losslessly
     pub fn from_f64(z: f64, w: &[f64]) -> Self {
         ExactParams::new(
             Rational::from_f64(z).expect("finite z"),

@@ -1,0 +1,412 @@
+//! A lightweight Rust lexer: just enough token structure to lint without
+//! false positives from comments, string literals or attributes.
+//!
+//! The lexer is intentionally *not* a full Rust tokenizer — it only
+//! distinguishes the classes the rules care about (identifiers, numeric
+//! literals with float-ness, punctuation, lifetimes) and guarantees that
+//! comment and string *contents* never surface as code tokens. Comments are
+//! preserved separately so the suppression layer can parse
+//! `// dls-lint: allow(...)` directives.
+
+/// Kind of a lexed code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `f64`, `let`, `r#match`).
+    Ident,
+    /// Numeric literal; `is_float` on the token disambiguates.
+    Number,
+    /// String, byte-string, C-string or char literal (contents opaque).
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One code token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw text for `Ident`/`Number`/`Punct`; empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub col: usize,
+    /// For `Number`: whether the literal is a floating-point literal.
+    pub is_float: bool,
+}
+
+/// One comment, with its position and whether code precedes it on its line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` framing (block comments keep
+    /// interior newlines).
+    pub text: String,
+    /// 1-based line of the comment start.
+    pub line: usize,
+    /// `true` when a code token appears before the comment on the same
+    /// line (a *trailing* comment).
+    pub trailing: bool,
+}
+
+/// Lexer output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`, never panicking on malformed input (unterminated
+/// constructs are consumed to end of input).
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Lexed,
+    last_code_line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            src: source,
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+            last_code_line: 0,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: usize, col: usize, is_float: bool) {
+        self.last_code_line = line;
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            is_float,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        let _ = self.src;
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line, col),
+                'b' | 'c' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line, col);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line, col);
+                }
+                'r' if matches!(self.peek(1), Some('"') | Some('#'))
+                    && self.is_raw_string_start(0) =>
+                {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string_start(1) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                '\'' => self.quote(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if is_ident_start(c) => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct, c.to_string(), line, col, false);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when position `off` holds `r` (already checked by the caller)
+    /// followed by `#*"` — i.e. a raw string, not the raw identifier `r#foo`.
+    fn is_raw_string_start(&self, off: usize) -> bool {
+        let mut k = off + 1;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let trailing = self.last_code_line == line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let trailing = self.last_code_line == line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            trailing,
+        });
+    }
+
+    fn string_literal(&mut self, line: usize, col: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, String::new(), line, col, false);
+    }
+
+    fn raw_string(&mut self, line: usize, col: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_token(TokenKind::Literal, String::new(), line, col, false);
+    }
+
+    fn char_literal(&mut self, line: usize, col: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, String::new(), line, col, false);
+    }
+
+    /// `'` — either a char literal or a lifetime.
+    fn quote(&mut self, line: usize, col: usize) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => after != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Lifetime, text, line, col, false);
+        } else {
+            self.char_literal(line, col);
+        }
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Radix prefixes are always integers (no hex floats in Rust).
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('o') | Some('b'))
+        {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Number, text, line, col, false);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part — but not `..` (range) and not `.method()`.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Exponent (`1e9`, `2.5E-3`).
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign_ok = matches!(self.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign_ok { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if sign_ok {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `f64`, `usize`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        self.push_token(TokenKind::Number, text, line, col, is_float);
+    }
+
+    fn ident(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        // Raw identifier prefix.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Ident, text, line, col, false);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}

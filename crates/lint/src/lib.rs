@@ -1,0 +1,97 @@
+//! # `dls-lint` — workspace invariant analyzer
+//!
+//! A std-only, offline static analyzer that machine-enforces the repo
+//! invariants behind the paper's strategyproofness guarantees:
+//!
+//! * **no-float-in-exact** — the exact-arithmetic crates (`dls-num`,
+//!   `dls-crypto`, `mechanism::exact`, `dlt::exact`) must not use `f32`/
+//!   `f64` or float literals outside annotated conversion boundaries, so
+//!   payments `Q_i = C_i + B_i` (Theorems 4.1/5.2) stay bit-exact.
+//! * **no-panic-in-protocol** — `unwrap()`, `expect()`, `panic!`-family
+//!   macros and slice indexing are forbidden in the protocol hot paths
+//!   (`runtime`, `referee`, `ledger`, `messages`): a deviant peer must cost
+//!   itself a fine (Lemma 5.1), never crash the session.
+//! * **crate-hygiene** — every crate root carries `#![forbid(unsafe_code)]`
+//!   and `#![warn(missing_docs)]`; member manifests resolve dependencies
+//!   through `[workspace.dependencies]` and inherit `[workspace.lints]`.
+//!
+//! Violations are burned down explicitly with
+//! `// dls-lint: allow(<rule>) -- <reason>`; the reason is mandatory and
+//! unused suppressions are themselves violations.
+//!
+//! Run it three ways:
+//!
+//! ```text
+//! cargo run -p dls-lint            # rustc-style diagnostics, exit 1 on hit
+//! cargo run -p dls-lint -- --json  # machine-readable report
+//! cargo test -q                    # tests/lint_gate.rs enforces it forever
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+pub use diag::{Diagnostic, Report};
+
+use std::path::Path;
+
+/// Runs every rule over the workspace rooted at `root` and returns the
+/// aggregated report (sorted, deterministic).
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let members = walk::member_dirs(root)?;
+
+    for member in &members {
+        // Manifest hygiene.
+        let manifest_path = member.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest_path) {
+            report.manifests_checked += 1;
+            let rel = walk::rel_unix(root, &manifest_path);
+            report
+                .diagnostics
+                .extend(manifest::check_manifest(&rel, &content, &mut report.suppressed));
+        }
+
+        // Crate-root attributes.
+        let lib = member.join("src/lib.rs");
+        let main = member.join("src/main.rs");
+        let crate_root = if lib.is_file() {
+            Some(lib)
+        } else if main.is_file() {
+            Some(main)
+        } else {
+            None
+        };
+        if let Some(crate_root) = crate_root {
+            if let Ok(src) = std::fs::read_to_string(&crate_root) {
+                let rel = walk::rel_unix(root, &crate_root);
+                report.diagnostics.extend(manifest::check_crate_root(
+                    &rel,
+                    &src,
+                    &mut report.suppressed,
+                ));
+            }
+        }
+
+        // Source rules.
+        for file in walk::rust_files(member) {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            report.files_scanned += 1;
+            let rel = walk::rel_unix(root, &file);
+            report
+                .diagnostics
+                .extend(rules::lint_source(&rel, &src, &mut report.suppressed));
+        }
+    }
+
+    report.sort();
+    Ok(report)
+}

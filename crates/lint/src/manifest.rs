@@ -1,0 +1,196 @@
+//! Crate-hygiene checks: member `Cargo.toml` manifests and crate-root
+//! attributes.
+//!
+//! The TOML handling here is a deliberately small line-oriented reader —
+//! enough for the constrained manifests this workspace writes (sections,
+//! `key = value`, inline tables), with zero dependencies so `dls-lint`
+//! works offline.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, TokenKind};
+use crate::rules::CRATE_HYGIENE;
+
+/// Checks one member manifest. `rel_path` is workspace-relative (e.g.
+/// `crates/num/Cargo.toml`).
+pub fn check_manifest(rel_path: &str, content: &str, suppressed_out: &mut usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut has_lints_workspace = false;
+    let mut saw_package = false;
+    let allow_all = content.lines().any(|l| {
+        let t = l.trim();
+        t.starts_with('#') && t.contains("dls-lint:") && t.contains("allow-file(crate-hygiene)")
+    });
+
+    for (lineno, raw) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            if section == "package" {
+                saw_package = true;
+            }
+            continue;
+        }
+        if section == "lints" && line.replace(' ', "") == "workspace=true" {
+            has_lints_workspace = true;
+        }
+        let dep_section = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        );
+        if dep_section {
+            let Some((name, value)) = line.split_once('=') else {
+                continue;
+            };
+            let name = name.trim();
+            let value = value.trim();
+            // Accept `foo.workspace = true` and `foo = { workspace = true, … }`.
+            let uses_workspace = name.ends_with(".workspace")
+                || (value.starts_with('{') && value.replace(' ', "").contains("workspace=true"));
+            if !uses_workspace {
+                let suppressed = allow_all
+                    || prev_line_allows(content, lineno)
+                    || raw.contains("dls-lint: allow(crate-hygiene)");
+                if suppressed {
+                    *suppressed_out += 1;
+                } else {
+                    out.push(Diagnostic {
+                        rule: CRATE_HYGIENE,
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        col: 1,
+                        message: format!(
+                            "dependency `{name}` does not resolve through \
+                             [workspace.dependencies]"
+                        ),
+                        snippet: line.to_string(),
+                        help: "declare the version once in the root Cargo.toml and use \
+                               `name.workspace = true` here"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    if saw_package && !has_lints_workspace {
+        if allow_all {
+            *suppressed_out += 1;
+        } else {
+            out.push(Diagnostic {
+                rule: CRATE_HYGIENE,
+                file: rel_path.to_string(),
+                line: 1,
+                col: 1,
+                message: "member crate does not inherit workspace lints".to_string(),
+                snippet: String::new(),
+                help: "add `[lints]\\nworkspace = true` so the curated rustc/clippy \
+                       set applies to this crate"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// `true` when the line before `lineno` is a `# dls-lint: allow(crate-hygiene)`
+/// TOML comment.
+fn prev_line_allows(content: &str, lineno: usize) -> bool {
+    if lineno < 2 {
+        return false;
+    }
+    content
+        .lines()
+        .nth(lineno - 2)
+        .map(|l| {
+            let t = l.trim();
+            t.starts_with('#') && t.contains("dls-lint:") && t.contains("allow(crate-hygiene)")
+        })
+        .unwrap_or(false)
+}
+
+/// Checks a crate root (`src/lib.rs` / `src/main.rs`) for the mandatory
+/// inner attributes.
+pub fn check_crate_root(rel_path: &str, source: &str, suppressed_out: &mut usize) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mut has_forbid_unsafe = false;
+    let mut has_missing_docs = false;
+
+    // Scan inner attributes: `#` `!` `[` … `]`.
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        let is_inner_attr = toks[i].kind == TokenKind::Punct
+            && toks[i].text == "#"
+            && toks[i + 1].text == "!"
+            && toks[i + 2].text == "[";
+        if !is_inner_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        let mut words: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if toks[j].kind == TokenKind::Ident {
+                        words.push(toks[j].text.as_str());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let has = |w: &str| words.iter().any(|x| *x == w);
+        // Accept the attribute directly or via cfg_attr.
+        if has("forbid") && has("unsafe_code") {
+            has_forbid_unsafe = true;
+        }
+        if (has("warn") || has("deny") || has("forbid")) && has("missing_docs") {
+            has_missing_docs = true;
+        }
+        i = j + 1;
+    }
+
+    let file_allowed = lexed.comments.iter().any(|c| {
+        c.text.contains("dls-lint:") && c.text.contains("allow-file(crate-hygiene)")
+    });
+
+    let mut out = Vec::new();
+    let mut missing = Vec::new();
+    if !has_forbid_unsafe {
+        missing.push("#![forbid(unsafe_code)]");
+    }
+    if !has_missing_docs {
+        missing.push("#![warn(missing_docs)]");
+    }
+    for attr in missing {
+        if file_allowed {
+            *suppressed_out += 1;
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: CRATE_HYGIENE,
+            file: rel_path.to_string(),
+            line: 1,
+            col: 1,
+            message: format!("crate root is missing `{attr}`"),
+            snippet: String::new(),
+            help: "every workspace crate carries the safety/doc attributes; add the \
+                   attribute below the crate-level docs"
+                .to_string(),
+        });
+    }
+    out
+}

@@ -1,0 +1,397 @@
+//! The rule catalog and the per-file checking engine.
+//!
+//! Each rule protects a specific invariant of the paper's strategyproofness
+//! argument (Carroll & Grosu, IPPS 2006):
+//!
+//! * [`NO_FLOAT_IN_EXACT`] — Theorems 4.1/5.2 need payments `Q_i = C_i +
+//!   B_i` agreed upon *bit-for-bit* by every processor; the exact-arithmetic
+//!   crates must therefore never touch IEEE-754 floats except at explicitly
+//!   annotated conversion boundaries.
+//! * [`NO_PANIC_IN_PROTOCOL`] — Lemma 5.1's fining argument assumes the
+//!   referee and runtime survive arbitrary deviant input; a panic on a
+//!   malformed message is a free denial-of-service for a cheater.
+//! * [`CRATE_HYGIENE`] — workspace-wide guarantees (`forbid(unsafe_code)`,
+//!   documented public APIs, centralized dependency versions) that keep the
+//!   other two rules meaningful.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::suppress::Suppressions;
+use crate::diag::Diagnostic;
+
+/// Rule name: floats forbidden in exact-arithmetic code.
+pub const NO_FLOAT_IN_EXACT: &str = "no-float-in-exact";
+/// Rule name: panicking constructs forbidden in protocol hot paths.
+pub const NO_PANIC_IN_PROTOCOL: &str = "no-panic-in-protocol";
+/// Rule name: crate-root attributes and manifest hygiene.
+pub const CRATE_HYGIENE: &str = "crate-hygiene";
+/// Pseudo-rule for malformed `dls-lint:` directives.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+/// Pseudo-rule for directives that silence nothing.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// All rule names, for `--rules` listing and directive validation.
+pub const ALL_RULES: &[(&str, &str)] = &[
+    (
+        NO_FLOAT_IN_EXACT,
+        "f32/f64 and float literals are forbidden in the exact-arithmetic \
+         crates (crates/num, crates/crypto, mechanism/exact.rs, dlt/exact.rs); \
+         exact payment agreement (Thm 4.1/5.2) must not depend on IEEE-754",
+    ),
+    (
+        NO_PANIC_IN_PROTOCOL,
+        "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and \
+         slice indexing are forbidden in protocol hot paths \
+         (protocol/src/{runtime,referee,ledger,messages}.rs); a malformed \
+         message must yield a typed error, not a crashed session (Lemma 5.1)",
+    ),
+    (
+        CRATE_HYGIENE,
+        "crate roots must carry #![forbid(unsafe_code)] and \
+         #![warn(missing_docs)]; member manifests must resolve dependencies \
+         through [workspace.dependencies] and inherit [workspace.lints]",
+    ),
+    (
+        BAD_SUPPRESSION,
+        "a `// dls-lint:` directive could not be parsed (every allow needs \
+         `(<rule>)` and a ` -- <reason>`)",
+    ),
+    (
+        UNUSED_SUPPRESSION,
+        "a `// dls-lint: allow` directive silences nothing and must be removed",
+    ),
+];
+
+/// `true` for names that may appear inside `allow(...)`.
+pub fn is_known_rule(name: &str) -> bool {
+    name == NO_FLOAT_IN_EXACT || name == NO_PANIC_IN_PROTOCOL || name == CRATE_HYGIENE
+}
+
+/// Paths (workspace-relative, unix separators) covered by
+/// [`NO_FLOAT_IN_EXACT`].
+pub fn float_rule_applies(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/num/src/")
+        || rel_path.starts_with("crates/crypto/src/")
+        || rel_path == "crates/mechanism/src/exact.rs"
+        || rel_path == "crates/dlt/src/exact.rs"
+}
+
+/// Paths covered by [`NO_PANIC_IN_PROTOCOL`].
+pub fn panic_rule_applies(rel_path: &str) -> bool {
+    matches!(
+        rel_path,
+        "crates/protocol/src/runtime.rs"
+            | "crates/protocol/src/referee.rs"
+            | "crates/protocol/src/ledger.rs"
+            | "crates/protocol/src/messages.rs"
+    )
+}
+
+/// Lints one source file. `rel_path` selects the applicable rules; the
+/// returned diagnostics are unsuppressed violations (suppressed ones are
+/// counted in `suppressed_out`).
+pub fn lint_source(rel_path: &str, source: &str, suppressed_out: &mut usize) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mut sup = Suppressions::from_comments(&lexed.comments);
+    let lines: Vec<&str> = source.lines().collect();
+    let excluded = test_code_lines(&lexed.tokens);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if float_rule_applies(rel_path) {
+        check_floats(rel_path, &lexed.tokens, &excluded, &lines, &mut raw);
+    }
+    if panic_rule_applies(rel_path) {
+        check_panics(rel_path, &lexed.tokens, &excluded, &lines, &mut raw);
+    }
+
+    let mut out = Vec::new();
+    for d in raw {
+        if sup.covers(d.rule, d.line) {
+            *suppressed_out += 1;
+        } else {
+            out.push(d);
+        }
+    }
+    // Malformed directives are always reported.
+    for bad in &sup.bad {
+        out.push(Diagnostic {
+            rule: BAD_SUPPRESSION,
+            file: rel_path.to_string(),
+            line: bad.line,
+            col: 1,
+            message: bad.problem.clone(),
+            snippet: snippet(&lines, bad.line),
+            help: "write `// dls-lint: allow(<rule>) -- <reason>`".to_string(),
+        });
+    }
+    // Unused directives are reported so burndown annotations stay honest —
+    // but only for rules this file's scope actually evaluates here
+    // (`crate-hygiene` allows are consumed by the manifest checker).
+    {
+        let evaluated = |r: &String| {
+            (r == NO_FLOAT_IN_EXACT && float_rule_applies(rel_path))
+                || (r == NO_PANIC_IN_PROTOCOL && panic_rule_applies(rel_path))
+        };
+        for s in &sup.entries {
+            if !s.used && s.rules.iter().any(evaluated) {
+                out.push(Diagnostic {
+                    rule: UNUSED_SUPPRESSION,
+                    file: rel_path.to_string(),
+                    line: s.directive_line,
+                    col: 1,
+                    message: format!(
+                        "suppression of {} silences nothing and must be removed",
+                        s.rules.join(", ")
+                    ),
+                    snippet: snippet(&lines, s.directive_line),
+                    help: String::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Returns a sorted list of `(start_line, end_line)` ranges (inclusive)
+/// holding `#[cfg(test)]` modules and `#[test]` functions. Rules skip code
+/// inside them: tests may unwrap and compare against floats freely.
+fn test_code_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_test_attr_at(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip over this and any further attributes.
+        let mut j = i;
+        while j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "#" {
+            j = skip_attr(tokens, j);
+        }
+        // Find the body: the first `{` before a terminating `;`.
+        let mut k = j;
+        let mut open = None;
+        while k < tokens.len() {
+            if tokens[k].kind == TokenKind::Punct {
+                if tokens[k].text == "{" {
+                    open = Some(k);
+                    break;
+                }
+                if tokens[k].text == ";" {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let close = match_brace(tokens, open);
+        let end_line = tokens.get(close).map(|t| t.line).unwrap_or(usize::MAX);
+        ranges.push((start_line, end_line));
+        i = close.saturating_add(1);
+    }
+    ranges
+}
+
+/// Is `tokens[i..]` the start of `#[test]`, `#[cfg(test)]` or a
+/// `#[cfg_attr(test, ...)]`-style attribute mentioning `test`?
+fn is_test_attr_at(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i).map(|t| t.text.as_str()) != Some("#") {
+        return false;
+    }
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    let end = skip_attr(tokens, i);
+    let inner = &tokens[i + 2..end.saturating_sub(1).max(i + 2)];
+    match inner.first() {
+        Some(t) if t.text == "test" && inner.len() == 1 => true,
+        // `cfg(test)` / `cfg(any(test, …))` are test code; `cfg(not(test))`
+        // is the opposite and must stay in scope.
+        Some(t) if t.text == "cfg" => {
+            inner.iter().any(|t| t.text == "test") && !inner.iter().any(|t| t.text == "not")
+        }
+        _ => false,
+    }
+}
+
+/// Given `tokens[i] == "#"` starting an attribute, returns the index just
+/// past the closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut k = i + 1;
+    if tokens.get(k).map(|t| t.text.as_str()) != Some("[") {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while k < tokens.len() {
+        if tokens[k].kind == TokenKind::Punct {
+            match tokens[k].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Given `tokens[open] == "{"`, returns the index of the matching `}` (or
+/// the last token on unbalanced input).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].kind == TokenKind::Punct {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+fn snippet(lines: &[&str], line: usize) -> String {
+    lines
+        .get(line.saturating_sub(1))
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// no-float-in-exact
+// ---------------------------------------------------------------------------
+
+fn check_floats(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[(usize, usize)],
+    lines: &[&str],
+    out: &mut Vec<Diagnostic>,
+) {
+    for t in tokens {
+        if in_ranges(excluded, t.line) {
+            continue;
+        }
+        let message = match t.kind {
+            TokenKind::Ident if t.text == "f32" || t.text == "f64" => {
+                format!("`{}` used in exact-arithmetic code", t.text)
+            }
+            TokenKind::Number if t.is_float => {
+                format!("float literal `{}` in exact-arithmetic code", t.text)
+            }
+            _ => continue,
+        };
+        out.push(Diagnostic {
+            rule: NO_FLOAT_IN_EXACT,
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            snippet: snippet(lines, t.line),
+            help: "use dls_num::Rational / integer arithmetic, or annotate a \
+                   conversion boundary with `// dls-lint: allow(no-float-in-exact) -- <reason>`"
+                .to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-in-protocol
+// ---------------------------------------------------------------------------
+
+/// Keywords that may legally precede `[` without it being an index
+/// expression (array literals / patterns, `let [a, b] = …`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "if", "else", "match", "return", "in", "as", "ref", "move", "box", "break", "continue",
+    "await", "yield", "where", "const", "static", "dyn", "impl", "for", "while", "loop", "fn",
+    "pub", "use", "mod", "struct", "enum", "union", "trait", "type", "unsafe", "extern",
+];
+
+fn check_panics(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[(usize, usize)],
+    lines: &[&str],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, t) in tokens.iter().enumerate() {
+        if in_ranges(excluded, t.line) {
+            continue;
+        }
+        let prev = idx.checked_sub(1).and_then(|p| tokens.get(p));
+        let next = tokens.get(idx + 1);
+        let message = match t.kind {
+            TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                // `.unwrap(` / `.expect(` method calls only; idents like
+                // `unwrap_or` lex as one token and never reach here.
+                let is_method_call = prev.map(|p| p.text == ".").unwrap_or(false)
+                    && next.map(|n| n.text == "(").unwrap_or(false);
+                if !is_method_call {
+                    continue;
+                }
+                format!("`.{}()` may panic on deviant input", t.text)
+            }
+            TokenKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                let is_macro = next.map(|n| n.text == "!").unwrap_or(false);
+                // `core::panic` paths and shadowing idents are not calls.
+                let after_path = prev.map(|p| p.text == ":").unwrap_or(false);
+                if !is_macro || after_path {
+                    continue;
+                }
+                format!("`{}!` aborts the session on a reachable path", t.text)
+            }
+            TokenKind::Punct if t.text == "[" => {
+                let indexing = match prev {
+                    Some(p) => match p.kind {
+                        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                        TokenKind::Punct => p.text == "]" || p.text == ")" || p.text == "?",
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if !indexing {
+                    continue;
+                }
+                "slice indexing panics when out of bounds".to_string()
+            }
+            _ => continue,
+        };
+        out.push(Diagnostic {
+            rule: NO_PANIC_IN_PROTOCOL,
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            snippet: snippet(lines, t.line),
+            help: "return a typed error (RunError/RefereeError) or use \
+                   .get()/.get_mut(); if infallibility is provable, annotate with \
+                   `// dls-lint: allow(no-panic-in-protocol) -- <proof>`"
+                .to_string(),
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! The `// dls-lint: allow(<rule>) -- <reason>` suppression layer.
+//!
+//! Suppressions are deliberately explicit: each one names the rule(s) it
+//! silences and must carry a human-readable reason after ` -- `, so every
+//! accepted violation in the tree documents *why* it is acceptable.
+//!
+//! Scoping:
+//! * a **trailing** directive (code before it on the same line) covers its
+//!   own line;
+//! * a directive **alone on a line** covers the next line;
+//! * `allow-file(<rule>)` covers the whole file.
+//!
+//! A directive that silences nothing is itself reported
+//! ([`crate::rules::UNUSED_SUPPRESSION`]), so stale allows cannot linger.
+
+use crate::lexer::Comment;
+
+/// Scope of one suppression directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Covers a single source line.
+    Line(usize),
+    /// Covers the entire file.
+    File,
+}
+
+/// One parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules silenced by this directive.
+    pub rules: Vec<String>,
+    /// Mandatory justification (text after ` -- `).
+    pub reason: String,
+    /// Line the directive itself sits on.
+    pub directive_line: usize,
+    /// Which diagnostics it covers.
+    pub scope: Scope,
+    /// Set when the directive suppressed at least one diagnostic.
+    pub used: bool,
+}
+
+/// A directive that could not be parsed (reported as `bad-suppression`).
+#[derive(Debug, Clone)]
+pub struct BadDirective {
+    /// Line of the malformed directive.
+    pub line: usize,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Result of scanning a file's comments for directives.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// Well-formed directives.
+    pub entries: Vec<Suppression>,
+    /// Malformed directives.
+    pub bad: Vec<BadDirective>,
+}
+
+const MARKER: &str = "dls-lint:";
+
+impl Suppressions {
+    /// Extracts directives from the lexed comment stream.
+    pub fn from_comments(comments: &[Comment]) -> Self {
+        let mut out = Suppressions::default();
+        for c in comments {
+            let Some(rest) = directive_payload(&c.text) else {
+                continue;
+            };
+            match parse_directive(rest) {
+                Ok((rules, reason, file_scope)) => {
+                    let scope = if file_scope {
+                        Scope::File
+                    } else if c.trailing {
+                        Scope::Line(c.line)
+                    } else {
+                        Scope::Line(c.line + 1)
+                    };
+                    out.entries.push(Suppression {
+                        rules,
+                        reason,
+                        directive_line: c.line,
+                        scope,
+                        used: false,
+                    });
+                }
+                Err(problem) => out.bad.push(BadDirective {
+                    line: c.line,
+                    problem,
+                }),
+            }
+        }
+        out
+    }
+
+    /// Marks-and-returns whether a diagnostic for `rule` at `line` is
+    /// suppressed.
+    pub fn covers(&mut self, rule: &str, line: usize) -> bool {
+        for s in &mut self.entries {
+            let in_scope = match s.scope {
+                Scope::File => true,
+                Scope::Line(l) => l == line,
+            };
+            if in_scope && s.rules.iter().any(|r| r == rule) {
+                s.used = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Returns the text after the `dls-lint:` marker, if the comment is a
+/// directive. Doc-comment markers (`/`, `!`) are tolerated.
+fn directive_payload(text: &str) -> Option<&str> {
+    let t = text.trim_start_matches(['/', '!']).trim_start();
+    t.strip_prefix(MARKER).map(str::trim_start)
+}
+
+/// Parses `allow(rule-a, rule-b) -- reason` / `allow-file(rule) -- reason`.
+fn parse_directive(rest: &str) -> Result<(Vec<String>, String, bool), String> {
+    let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "unknown directive {:?}; expected `allow(<rule>) -- <reason>` \
+             or `allow-file(<rule>) -- <reason>`",
+            rest.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("missing `(<rule>)` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in allow directive".to_string());
+    };
+    let (inside, after) = rest.split_at(close);
+    let rules: Vec<String> = inside
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow directive names no rule".to_string());
+    }
+    for r in &rules {
+        if !crate::rules::is_known_rule(r) {
+            return Err(format!("unknown rule {r:?}"));
+        }
+    }
+    let after = after[1..].trim_start(); // skip ')'
+    let Some(reason) = after.strip_prefix("--") else {
+        return Err("missing ` -- <reason>`: every suppression must say why".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason after ` -- `".to_string());
+    }
+    Ok((rules, reason.to_string(), file_scope))
+}

@@ -1,0 +1,105 @@
+//! Workspace discovery: members from the root `Cargo.toml`, `.rs` files per
+//! member.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root at or above `start` (the first directory whose
+/// `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(content) = fs::read_to_string(&manifest) {
+            if content.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Expands the `members = [...]` globs of the root manifest into member
+/// directories. Supports literal entries and a trailing `/*` component —
+/// the only forms this workspace uses.
+pub fn member_dirs(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members: Vec<String> = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("members") {
+            if rest.trim_start().starts_with('=') {
+                in_members = true;
+            }
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                members.push(piece.to_string());
+            }
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    let mut dirs = Vec::new();
+    for m in members {
+        if let Some(prefix) = m.strip_suffix("/*") {
+            let base = root.join(prefix);
+            let Ok(entries) = fs::read_dir(&base) else {
+                continue;
+            };
+            let mut subdirs: Vec<PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+                .collect();
+            subdirs.sort();
+            dirs.extend(subdirs);
+        } else {
+            let p = root.join(&m);
+            if p.join("Cargo.toml").is_file() {
+                dirs.push(p);
+            }
+        }
+    }
+    Ok(dirs)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping build output,
+/// VCS metadata and lint fixtures (which contain violations on purpose).
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative unix-style path.
+pub fn rel_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

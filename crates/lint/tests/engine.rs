@@ -1,0 +1,205 @@
+//! Fixture-driven tests for the `dls-lint` engine: one fixture per rule
+//! aspect (positive hit, suppressed hit, false-positive guard), manifest
+//! hygiene cases, and a golden test of the `--json` shape.
+
+use dls_lint::diag::Report;
+use dls_lint::manifest::{check_manifest, check_crate_root};
+use dls_lint::rules::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+/// Runs a fixture as if it lived at `rel_path` inside the workspace.
+fn run(rel_path: &str, name: &str) -> (Vec<&'static str>, usize) {
+    let src = fixture(name);
+    let mut suppressed = 0usize;
+    let diags = lint_source(rel_path, &src, &mut suppressed);
+    (diags.iter().map(|d| d.rule).collect(), suppressed)
+}
+
+// ------------------------- no-float-in-exact -------------------------
+
+#[test]
+fn float_rule_fires_on_types_and_literals() {
+    let (rules, suppressed) = run("crates/num/src/fixture.rs", "float_hit.rs");
+    assert_eq!(suppressed, 0);
+    assert_eq!(rules.len(), 4, "f64, f32 x2, literal 2.5: {rules:?}");
+    assert!(rules.iter().all(|r| *r == "no-float-in-exact"));
+}
+
+#[test]
+fn float_rule_only_in_scoped_paths() {
+    let (rules, _) = run("crates/netsim/src/fixture.rs", "float_hit.rs");
+    assert!(rules.is_empty(), "netsim may use floats: {rules:?}");
+}
+
+#[test]
+fn float_suppressions_cover_and_count() {
+    let (rules, suppressed) = run("crates/num/src/fixture.rs", "float_suppressed.rs");
+    assert!(rules.is_empty(), "all hits suppressed: {rules:?}");
+    assert_eq!(suppressed, 3, "f64 (next-line), f64 + 1.0 (trailing)");
+}
+
+#[test]
+fn float_rule_ignores_comments_strings_ranges() {
+    let (rules, _) = run("crates/num/src/fixture.rs", "float_false_positives.rs");
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+// ------------------------- no-panic-in-protocol -------------------------
+
+#[test]
+fn panic_rule_fires_on_each_construct() {
+    let (rules, _) = run("crates/protocol/src/runtime.rs", "panic_hit.rs");
+    assert_eq!(
+        rules.len(),
+        5,
+        "unwrap, expect, indexing, panic!, unreachable!: {rules:?}"
+    );
+    assert!(rules.iter().all(|r| *r == "no-panic-in-protocol"));
+}
+
+#[test]
+fn panic_rule_skips_tests_and_lookalikes() {
+    let (rules, _) = run("crates/protocol/src/runtime.rs", "panic_clean.rs");
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn panic_rule_only_in_protocol_hot_paths() {
+    let (rules, _) = run("crates/protocol/src/blocks.rs", "panic_hit.rs");
+    assert!(rules.is_empty(), "blocks.rs is not a hot-path file: {rules:?}");
+}
+
+// ------------------------- suppression hygiene -------------------------
+
+#[test]
+fn malformed_and_stale_directives_are_violations() {
+    let src = fixture("suppression_errors.rs");
+    let mut suppressed = 0usize;
+    let diags = lint_source("crates/num/src/fixture.rs", &src, &mut suppressed);
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(
+        rules.contains(&"bad-suppression"),
+        "missing-reason + unknown-rule: {rules:?}"
+    );
+    assert!(rules.contains(&"unused-suppression"), "{rules:?}");
+    // The directive without a reason does NOT suppress its target.
+    assert!(rules.contains(&"no-float-in-exact"), "{rules:?}");
+    assert_eq!(
+        rules.iter().filter(|r| **r == "bad-suppression").count(),
+        2
+    );
+}
+
+// ------------------------- crate-hygiene -------------------------
+
+#[test]
+fn manifest_flags_non_workspace_deps() {
+    let toml = "[package]\nname = \"x\"\n\n[dependencies]\nrand = \"0.8\"\n\
+                good = { workspace = true }\ndotted.workspace = true\n\n[lints]\nworkspace = true\n";
+    let mut suppressed = 0usize;
+    let diags = check_manifest("crates/x/Cargo.toml", toml, &mut suppressed);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("`rand`"));
+}
+
+#[test]
+fn manifest_requires_lints_inheritance() {
+    let toml = "[package]\nname = \"x\"\n\n[dependencies]\n";
+    let mut suppressed = 0usize;
+    let diags = check_manifest("crates/x/Cargo.toml", toml, &mut suppressed);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("workspace lints"));
+}
+
+#[test]
+fn manifest_suppression_via_toml_comment() {
+    let toml = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                # dls-lint: allow(crate-hygiene) -- pinned on purpose for the fixture\n\
+                rand = \"0.8\"\n\n[lints]\nworkspace = true\n";
+    let mut suppressed = 0usize;
+    let diags = check_manifest("crates/x/Cargo.toml", toml, &mut suppressed);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn crate_root_attribute_check() {
+    let good = "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+    let mut s = 0usize;
+    assert!(check_crate_root("crates/x/src/lib.rs", good, &mut s).is_empty());
+
+    let bad = "//! Docs.\npub fn f() {}\n";
+    let diags = check_crate_root("crates/x/src/lib.rs", bad, &mut s);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+
+    let cfg_attr =
+        "//! Docs.\n#![forbid(unsafe_code)]\n#![cfg_attr(not(test), warn(missing_docs))]\n";
+    assert!(check_crate_root("crates/x/src/lib.rs", cfg_attr, &mut s).is_empty());
+}
+
+// ------------------------- JSON golden -------------------------
+
+#[test]
+fn json_report_shape_is_stable() {
+    let src = fixture("float_hit.rs");
+    let mut report = Report::default();
+    let mut suppressed = 0usize;
+    report
+        .diagnostics
+        .extend(lint_source("crates/num/src/fixture.rs", &src, &mut suppressed));
+    report.files_scanned = 1;
+    report.suppressed = suppressed;
+    report.sort();
+    let json = report.render_json();
+
+    // Structural golden: exact keys, deterministic ordering.
+    assert!(json.starts_with("{\n  \"version\": 1,\n  \"diagnostics\": ["));
+    for key in [
+        "\"rule\": \"no-float-in-exact\"",
+        "\"file\": \"crates/num/src/fixture.rs\"",
+        "\"line\": ",
+        "\"col\": ",
+        "\"message\": ",
+        "\"snippet\": ",
+        "\"summary\": {\"violations\": 4, \"suppressed\": 0, \"files_scanned\": 1, \"manifests_checked\": 0}",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // Diagnostics are sorted by position.
+    let lines: Vec<usize> = json
+        .match_indices("\"line\": ")
+        .map(|(i, _)| {
+            json[i + 8..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+}
+
+// ------------------------- end-to-end over this workspace ----------------
+
+#[test]
+fn workspace_scan_runs_and_reports_shape() {
+    // The real gate lives in tests/tests/lint_gate.rs; here we only assert
+    // the scanner walks the tree it is pointed at without erroring.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let report = dls_lint::scan_workspace(root).expect("scan succeeds");
+    assert!(report.files_scanned > 50, "walks the member crates");
+    assert!(report.manifests_checked >= 10);
+}

@@ -1,0 +1,12 @@
+//! Fixture: float-looking text in comments, strings and ranges must not
+//! trip the lexer. Mentioning f64 or 3.14 in a doc comment is fine.
+
+/* block comment with f32, f64 and 2.718 inside */
+pub fn clean() -> usize {
+    let s = "f64 and 1.5 live in a string";
+    let r = r#"raw string with f32 and 0.25"#;
+    let range: Vec<usize> = (0..10).collect();
+    let fmt = format!("{}{}", s, r);
+    let sum: usize = range.iter().sum::<usize>() + 1_000;
+    fmt.len() + sum + 1u64 as usize
+}

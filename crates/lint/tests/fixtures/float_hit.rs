@@ -1,0 +1,6 @@
+//! Fixture: unsuppressed float usage in exact-arithmetic scope.
+
+pub fn lossy(v: f64) -> f32 {
+    let scale = 2.5;
+    (v * scale) as f32
+}

@@ -1,0 +1,11 @@
+//! Fixture: every float use carries a justified suppression.
+
+/// Boundary conversion kept for display only.
+// dls-lint: allow(no-float-in-exact) -- display-only boundary conversion
+pub fn to_display(v: f64) -> String {
+    format!("{v}")
+}
+
+pub fn unit() -> f64 { // dls-lint: allow(no-float-in-exact) -- exercises trailing (same-line) scope
+    1.0 // dls-lint: allow(no-float-in-exact) -- exercises trailing scope on a literal
+}

@@ -1,0 +1,24 @@
+//! Fixture: panic-free code plus constructs that merely *look* like
+//! violations — test-only code, array types/literals, unwrap_or family,
+//! attributes, macro brackets.
+
+pub fn good(v: Option<usize>, xs: &[usize]) -> usize {
+    let a = v.unwrap_or(0);
+    let b = v.unwrap_or_else(|| 1);
+    let c = xs.first().copied().unwrap_or_default();
+    let arr: [usize; 2] = [a, b];
+    let lit = vec![1usize, 2, 3];
+    let [x, y] = arr;
+    // "xs[0] and .unwrap() in a comment do not count"
+    let s = "neither does panic! or xs[1] in a string";
+    x + y + c + lit.len() + s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let xs = vec![1, 2, 3];
+        assert_eq!(xs[0], Some(1).unwrap());
+    }
+}

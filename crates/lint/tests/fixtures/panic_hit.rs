@@ -1,0 +1,11 @@
+//! Fixture: every forbidden panic construct, one per line.
+
+pub fn bad(v: Option<usize>, xs: &[usize]) -> usize {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    let c = xs[0];
+    if a + b + c == 0 {
+        panic!("zero");
+    }
+    unreachable!()
+}

@@ -1,0 +1,12 @@
+//! Fixture: malformed and stale directives are violations themselves.
+
+// dls-lint: allow(no-float-in-exact)
+pub fn missing_reason(v: f64) -> u64 {
+    v as u64
+}
+
+// dls-lint: allow(no-such-rule) -- the rule name is wrong
+pub fn unknown_rule() {}
+
+// dls-lint: allow(no-float-in-exact) -- nothing on the next line uses floats
+pub fn stale() {}

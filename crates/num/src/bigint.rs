@@ -179,7 +179,9 @@ impl BigInt {
         }
     }
 
-    /// Lossy conversion to `f64`.
+    /// Lossy conversion to `f64` (reporting/display boundary; exact
+    /// arithmetic never reads the result back).
+    // dls-lint: allow(no-float-in-exact) -- exit boundary from the exact domain
     pub fn to_f64(&self) -> f64 {
         let m = self.mag.to_f64();
         match self.sign {

@@ -151,23 +151,28 @@ impl BigUint {
     /// Lossy conversion to `f64` (round-to-nearest on the top 64 bits).
     ///
     /// Values above `f64::MAX` map to `f64::INFINITY`.
+    ///
+    /// This is a reporting/display boundary: exact arithmetic never reads
+    /// the result back.
+    // dls-lint: allow(no-float-in-exact) -- exit boundary from the exact domain
     pub fn to_f64(&self) -> f64 {
         let bits = self.bits();
         if bits == 0 {
-            return 0.0;
+            return 0.0; // dls-lint: allow(no-float-in-exact) -- exit boundary
         }
         if bits <= 64 {
+            // dls-lint: allow(no-float-in-exact) -- exit boundary
             return self.to_u64().expect("fits by bit count") as f64;
         }
         // Take the top 64 bits and scale.
         let shift = bits - 64;
         let top = (self >> shift).to_u64().expect("64 bits by construction");
-        let mut v = top as f64;
+        let mut v = top as f64; // dls-lint: allow(no-float-in-exact) -- exit boundary
         // Multiply by 2^shift without overflowing intermediate exponents.
         let mut remaining = shift;
         while remaining > 0 {
             let step = remaining.min(512);
-            v *= 2f64.powi(step as i32);
+            v *= 2f64.powi(step as i32); // dls-lint: allow(no-float-in-exact) -- exit boundary
             remaining -= step;
         }
         v

@@ -84,11 +84,12 @@ impl Rational {
 
     /// Exact conversion from a finite `f64` (every finite double is a binary
     /// rational).
+    // dls-lint: allow(no-float-in-exact) -- entry boundary: the float is decomposed bit-exactly, never rounded
     pub fn from_f64(v: f64) -> Result<Self, RationalError> {
         if !v.is_finite() {
             return Err(RationalError::NotFinite);
         }
-        if v == 0.0 {
+        if v == 0.0 { // dls-lint: allow(no-float-in-exact) -- entry boundary
             return Ok(Rational::zero());
         }
         let bits = v.to_bits();
@@ -163,10 +164,12 @@ impl Rational {
     /// Lossy conversion to `f64`.
     ///
     /// Accurate to within one ULP for the magnitudes used in this workspace
-    /// (numerator/denominator each representable after scaling).
+    /// (numerator/denominator each representable after scaling). This is a
+    /// reporting/display boundary: exact arithmetic never reads it back.
+    // dls-lint: allow(no-float-in-exact) -- exit boundary from the exact domain
     pub fn to_f64(&self) -> f64 {
         if self.is_zero() {
-            return 0.0;
+            return 0.0; // dls-lint: allow(no-float-in-exact) -- exit boundary
         }
         // Scale so that the integer division num/den has ~80 significant
         // bits, then divide as f64.
@@ -191,7 +194,7 @@ impl Rational {
         let mut e = post_scale;
         while e < 0 {
             let step = (-e).min(512);
-            v *= 2f64.powi(-(step as i32));
+            v *= 2f64.powi(-(step as i32)); // dls-lint: allow(no-float-in-exact) -- exit boundary
             e += step;
         }
         v

@@ -35,6 +35,32 @@ pub enum Phase {
 /// corrupted vector.
 pub const PAYMENT_TOLERANCE: f64 = 1e-9;
 
+/// Errors the referee can surface instead of panicking mid-adjudication.
+///
+/// The referee is the one party every processor must be able to rely on;
+/// a panic here would deadlock the session, so every failure mode is a
+/// typed value the runtime converts into a session error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefereeError {
+    /// The bids handed to payment adjudication do not form valid bus
+    /// parameters (non-finite or non-positive). The runtime validates
+    /// bids at receipt, so reaching this means the caller skipped that
+    /// validation.
+    InvalidAgreedBids,
+}
+
+impl std::fmt::Display for RefereeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefereeError::InvalidAgreedBids => {
+                write!(f, "agreed bids do not form valid bus parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefereeError {}
+
 /// Referee state for one session.
 #[derive(Debug, Clone)]
 pub struct Referee {
@@ -202,13 +228,15 @@ impl Referee {
             let Ok(body) = signed_bid.verify(&self.registry) else {
                 return ClaimJudgement::Unfounded;
             };
-            if signed_bid.signer() != format!("P{}", body.processor + 1)
-                || body.processor >= self.m
-                || !bids[body.processor].is_nan()
-            {
+            if signed_bid.signer() != format!("P{}", body.processor + 1) {
                 return ClaimJudgement::Unfounded;
             }
-            bids[body.processor] = body.bid;
+            // Out-of-range processor indices and duplicate bids both make
+            // the view inconsistent, which blames the reporter.
+            match bids.get_mut(body.processor) {
+                Some(slot) if slot.is_nan() => *slot = body.bid,
+                _ => return ClaimJudgement::Unfounded,
+            }
         }
         // The grant must verify and be addressed to the reporter.
         let Ok(grant_body) = grant.verify(&self.registry) else {
@@ -223,7 +251,9 @@ impl Referee {
         };
         let alpha = dls_dlt::optimal::fractions(self.model, &params);
         let counts = crate::blocks::integer_allocation(&alpha, self.total_blocks);
-        let expected = counts[reporter];
+        let Some(&expected) = counts.get(reporter) else {
+            return ClaimJudgement::Unfounded;
+        };
 
         // Count only genuine blocks; duplicates and foreign blocks are not
         // part of a correct grant.
@@ -255,13 +285,20 @@ impl Referee {
     ///
     /// Per §4 the session still completes — work is already done — so the
     /// verdict proceeds even when fines are levied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefereeError::InvalidAgreedBids`] when `bids` cannot form
+    /// valid bus parameters; the runtime validates bids at receipt, so an
+    /// error here indicates a caller bug, not processor misbehavior.
     pub fn adjudicate_payments(
         &self,
         vectors: &[Signed<PaymentVectorBody>],
         bids: &[f64],
         observed: &[f64],
-    ) -> (Verdict, Vec<PaymentEntry>) {
-        let params = BusParams::new(self.z, bids.to_vec()).expect("agreed bids are valid");
+    ) -> Result<(Verdict, Vec<PaymentEntry>), RefereeError> {
+        let params = BusParams::new(self.z, bids.to_vec())
+            .map_err(|_| RefereeError::InvalidAgreedBids)?;
         let alloc = dls_dlt::optimal::fractions(self.model, &params);
         let correct: Vec<PaymentEntry> =
             dls_mechanism::compute_payments(self.model, &params, &alloc, observed)
@@ -278,15 +315,18 @@ impl Referee {
             let Ok(body) = sv.verify(&self.registry) else {
                 continue; // unverifiable vectors are ignored; absence fines below
             };
-            if sv.signer() != format!("P{}", body.processor + 1) || body.processor >= self.m {
+            if sv.signer() != format!("P{}", body.processor + 1) {
                 continue;
             }
-            if seen[body.processor] {
+            let Some(prev) = seen.get_mut(body.processor) else {
+                continue; // out-of-range index: treated like an absent vector
+            };
+            if *prev {
                 // Contradictory duplicates fine the sender (§4).
                 deviants.insert(body.processor);
                 continue;
             }
-            seen[body.processor] = true;
+            *prev = true;
             let ok = body.q.len() == correct.len()
                 && body.q.iter().zip(&correct).all(|(a, b)| {
                     (a.compensation - b.compensation).abs() <= PAYMENT_TOLERANCE
@@ -301,7 +341,7 @@ impl Referee {
                 deviants.insert(i); // failed to submit a valid vector
             }
         }
-        (self.verdict_for(&deviants, false), correct)
+        Ok((self.verdict_for(&deviants, false), correct))
     }
 }
 
@@ -623,7 +663,8 @@ mod tests {
             .collect();
         let (v, correct) = f
             .referee
-            .adjudicate_payments(&vectors, &f.bids, &observed);
+            .adjudicate_payments(&vectors, &f.bids, &observed)
+            .unwrap();
         assert_eq!(v, Verdict::ok());
         assert_eq!(correct.len(), 3);
     }
@@ -646,7 +687,8 @@ mod tests {
             .collect();
         let (v, correct) = f
             .referee
-            .adjudicate_payments(&vectors, &f.bids, &observed);
+            .adjudicate_payments(&vectors, &f.bids, &observed)
+            .unwrap();
         assert!(v.proceed, "payment-phase fines do not abort");
         assert_eq!(v.fined, vec![(2, 10.0)]);
         // x·F/(m−x) = 10/2 = 5 to each correct processor.
@@ -672,7 +714,8 @@ mod tests {
             .collect();
         let (v, _) = f
             .referee
-            .adjudicate_payments(&vectors, &f.bids, &observed);
+            .adjudicate_payments(&vectors, &f.bids, &observed)
+            .unwrap();
         assert_eq!(v.fined, vec![(2, 10.0)]);
     }
 
@@ -711,7 +754,8 @@ mod tests {
         ];
         let (v, _) = f
             .referee
-            .adjudicate_payments(&vectors, &f.bids, &observed);
+            .adjudicate_payments(&vectors, &f.bids, &observed)
+            .unwrap();
         assert_eq!(v.fined, vec![(0, 10.0)]);
     }
 

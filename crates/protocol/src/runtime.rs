@@ -36,12 +36,12 @@ use dls_crypto::pki::{KeyPair, Registry};
 use dls_crypto::Signed;
 use dls_dlt::{BusParams, SystemModel};
 use dls_netsim::{simulate, SessionSpec as NetSessionSpec, Timeline};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// Errors when running a session.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +53,11 @@ pub enum RunError {
     UnsupportedModel,
     /// Key generation failed (modulus too small).
     Crypto(String),
+    /// A lock-step invariant broke at runtime: an expected message was
+    /// missing at a phase boundary, an internal index was out of range, or
+    /// an actor thread failed. Sessions surface this instead of panicking
+    /// (a panicking actor would strand its peers at the next barrier).
+    Protocol(String),
 }
 
 impl fmt::Display for RunError {
@@ -66,11 +71,17 @@ impl fmt::Display for RunError {
                 "the NCP protocol runs on NCP-FE / NCP-NFE; CP has a trusted control processor"
             ),
             RunError::Crypto(e) => write!(f, "crypto setup failed: {e}"),
+            RunError::Protocol(e) => write!(f, "protocol runtime failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// A missing-message error at a lock-step phase boundary.
+fn missing(what: &str) -> RunError {
+    RunError::Protocol(format!("expected {what} missing at phase boundary"))
+}
 
 /// Per-category message accounting.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -178,7 +189,12 @@ pub struct SessionOutcome {
 
 impl SessionOutcome {
     /// Utility of processor `i` (original indexing).
+    ///
+    /// # Panics
+    /// Panics if `i` is not an original processor index, like any slice
+    /// access with a caller-supplied index.
     pub fn utility(&self, i: usize) -> f64 {
+        // dls-lint: allow(no-panic-in-protocol) -- public accessor with a documented index contract; callers pass indices from the configs they built
         self.processors[i].utility
     }
 
@@ -232,16 +248,97 @@ impl Net {
         }
     }
 
-    /// Unicast between processors.
+    /// Unicast between processors. A message addressed outside the active
+    /// set is dropped, exactly like a frame sent to an absent station.
     fn unicast(&self, to: usize, msg: Msg) {
         self.record(&msg, 1);
-        let _ = self.proc_txs[to].send(msg);
+        if let Some(tx) = self.proc_txs.get(to) {
+            let _ = tx.send(msg);
+        }
     }
 
     /// Processor (or meter) → referee.
     fn to_referee(&self, from: usize, msg: Msg) {
         self.record(&msg, 1);
         let _ = self.referee_tx.send((from, msg));
+    }
+}
+
+/// A reusable phase barrier that can be aborted.
+///
+/// `std::sync::Barrier` deadlocks the whole session if one actor exits
+/// early (error or panic): everyone else parks at the next boundary with
+/// one party missing, forever. This barrier adds [`PhaseBarrier::abort`],
+/// which wakes every current and future waiter with the abort reason so
+/// all actors unwind cleanly instead.
+struct PhaseBarrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+    parties: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    aborted: Option<String>,
+}
+
+impl PhaseBarrier {
+    fn new(parties: usize) -> Self {
+        PhaseBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                aborted: None,
+            }),
+            cvar: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Blocks until all parties arrive (Ok) or the session is aborted
+    /// (Err carrying the first abort reason).
+    fn wait(&self) -> Result<(), RunError> {
+        let mut st = self.state.lock();
+        if let Some(reason) = &st.aborted {
+            return Err(RunError::Protocol(reason.clone()));
+        }
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let generation = st.generation;
+        while st.generation == generation && st.aborted.is_none() {
+            self.cvar.wait(&mut st);
+        }
+        match &st.aborted {
+            Some(reason) => Err(RunError::Protocol(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks the session aborted (first reason wins) and wakes all waiters.
+    fn abort(&self, reason: &str) {
+        let mut st = self.state.lock();
+        if st.aborted.is_none() {
+            st.aborted = Some(reason.to_string());
+        }
+        self.cvar.notify_all();
+    }
+}
+
+/// Drop guard: if an actor unwinds by panic (e.g. from a dependency), the
+/// barrier is aborted so the remaining actors do not hang.
+struct AbortOnPanic(Arc<PhaseBarrier>);
+
+impl Drop for AbortOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort("an actor thread panicked");
+        }
     }
 }
 
@@ -270,27 +367,28 @@ impl ProcInbox {
     }
 
     /// Consumes and returns the first message matched by `take`, holding
-    /// every other available message back for later drains.
-    ///
-    /// # Panics
-    /// Panics if no available message matches — the lock-step phase
-    /// structure guarantees the expected message has been sent before the
-    /// barrier this is called behind.
-    fn take_first<T>(&mut self, mut take: impl FnMut(&Msg) -> Option<T>) -> T {
+    /// every other available message back for later drains. Returns `None`
+    /// when no available message matches; the lock-step phase structure
+    /// guarantees the expected message has been sent before the barrier
+    /// this is called behind, so callers treat `None` as a protocol error.
+    fn take_first<T>(&mut self, mut take: impl FnMut(&Msg) -> Option<T>) -> Option<T> {
         // Check held-back messages first.
-        for idx in 0..self.pending.len() {
-            if let Some(v) = take(&self.pending[idx]) {
-                self.pending.remove(idx);
-                return v;
-            }
+        let held = self
+            .pending
+            .iter()
+            .enumerate()
+            .find_map(|(idx, msg)| take(msg).map(|v| (idx, v)));
+        if let Some((idx, v)) = held {
+            self.pending.remove(idx);
+            return Some(v);
         }
         for msg in self.rx.try_iter() {
             match take(&msg) {
-                Some(v) => return v,
+                Some(v) => return Some(v),
                 None => self.pending.push_back(msg),
             }
         }
-        panic!("expected message missing at phase boundary");
+        None
     }
 
     /// Consumes every available message matched by `take`, holding the
@@ -307,7 +405,7 @@ impl ProcInbox {
         out
     }
 
-    fn take_verdict(&mut self) -> Verdict {
+    fn take_verdict(&mut self) -> Option<Verdict> {
         self.take_first(|m| match m {
             Msg::Verdict(v) => Some(v.clone()),
             _ => None,
@@ -333,8 +431,12 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
         return Err(RunError::UnsupportedModel);
     }
     // Active set and index remapping (original -> active position).
-    let active: Vec<usize> = (0..cfg.m())
-        .filter(|&i| cfg.processors[i].behavior != Behavior::NonParticipant)
+    let active: Vec<usize> = cfg
+        .processors
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.behavior != Behavior::NonParticipant)
+        .map(|(i, _)| i)
         .collect();
     let m = active.len();
     if m < 2 {
@@ -346,11 +448,14 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
         .map(|(pos, &orig)| (orig, pos))
         .collect();
 
-    // Remap index-bearing behaviours into active coordinates.
-    let procs: Vec<ProcessorConfig> = active
+    // Remap index-bearing behaviours into active coordinates. This filter
+    // selects exactly the configs whose indices populate `active`, in the
+    // same order.
+    let procs: Vec<ProcessorConfig> = cfg
+        .processors
         .iter()
-        .map(|&orig| {
-            let p = cfg.processors[orig];
+        .filter(|p| p.behavior != Behavior::NonParticipant)
+        .map(|p| {
             let behavior = match p.behavior {
                 Behavior::ShortAllocate { victim, shortfall } => to_active
                     .get(&victim)
@@ -388,16 +493,16 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     let mut identities: Vec<String> = (1..=m).map(|i| format!("P{i}")).collect();
     identities.push(USER_IDENTITY.to_string());
     let mut keys = generate_keys_cached(&identities, cfg.key_bits, cfg.seed)?;
-    let user = keys.pop().expect("user key generated");
+    let user = keys
+        .pop()
+        .ok_or_else(|| RunError::Crypto("key generation returned no user key".into()))?;
     let registry = Registry::from_keypairs(keys.iter().chain(std::iter::once(&user)));
     let dataset = Arc::new(
         DataSet::prepare(&user, cfg.blocks, 32).map_err(|e| RunError::Crypto(e.to_string()))?,
     );
 
-    let originator = cfg
-        .model
-        .originator(m)
-        .expect("NCP models always have an originator");
+    // Only the CP model lacks an originator, and it was rejected above.
+    let originator = cfg.model.originator(m).ok_or(RunError::UnsupportedModel)?;
     let referee = Referee::new(
         registry.clone(),
         cfg.model,
@@ -422,19 +527,35 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
         stats: Mutex::new(MessageStats::default()),
         bcast: Mutex::new(()),
     });
-    let barrier = Arc::new(Barrier::new(m + 1));
+    let barrier = Arc::new(PhaseBarrier::new(m + 1));
 
     let model = cfg.model;
     let z = cfg.z;
     let blocks_total = cfg.blocks;
 
     // --- Run the actors ----------------------------------------------------
-    let mut proc_results: Vec<Option<ProcResult>> = (0..m).map(|_| None).collect();
-    let mut referee_result: Option<RefResult> = None;
+    // Each actor returns a Result; a failing actor aborts the barrier so
+    // the rest unwind instead of deadlocking, and `join` never panics the
+    // runner (a panicked actor surfaces as `None`).
+    let mut proc_joined: Vec<Option<Result<ProcResult, RunError>>> = Vec::with_capacity(m);
+    let mut referee_joined: Option<Result<RefResult, RunError>> = None;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(m);
-        for (i, rx) in proc_rxs.into_iter().enumerate() {
+        for (i, (rx, pcfg)) in proc_rxs.into_iter().zip(&procs).enumerate() {
+            let key = match keys.get(i) {
+                Some(k) => k.clone(),
+                None => {
+                    // Unreachable (one key per identity), but if it ever
+                    // happened the barrier must not wait on a thread that
+                    // was never spawned.
+                    barrier.abort("missing processor key");
+                    proc_joined.push(Some(Err(RunError::Crypto(format!(
+                        "no key generated for processor {i}"
+                    )))));
+                    continue;
+                }
+            };
             let ctx = ProcCtx {
                 i,
                 m,
@@ -442,36 +563,66 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
                 z,
                 blocks_total,
                 originator,
-                cfg: procs[i],
-                key: keys[i].clone(),
+                cfg: *pcfg,
+                key,
                 registry: registry.clone(),
                 net: Arc::clone(&net),
                 barrier: Arc::clone(&barrier),
                 rx,
                 dataset: (i == originator).then(|| Arc::clone(&dataset)),
             };
-            handles.push(scope.spawn(move || processor_main(ctx)));
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                let _guard = AbortOnPanic(Arc::clone(&barrier));
+                let r = processor_main(ctx);
+                if let Err(e) = &r {
+                    barrier.abort(&e.to_string());
+                }
+                r
+            }));
         }
         let ref_handle = {
             let net = Arc::clone(&net);
             let barrier = Arc::clone(&barrier);
             let dataset = Arc::clone(&dataset);
             let referee = referee.clone();
-            scope.spawn(move || referee_main(referee, m, net, barrier, ref_rx, dataset))
+            scope.spawn(move || {
+                let _guard = AbortOnPanic(Arc::clone(&barrier));
+                let r = referee_main(referee, m, net, Arc::clone(&barrier), ref_rx, dataset);
+                if let Err(e) = &r {
+                    barrier.abort(&e.to_string());
+                }
+                r
+            })
         };
-        for (i, h) in handles.into_iter().enumerate() {
-            proc_results[i] = Some(h.join().expect("processor thread panicked"));
+        for h in handles {
+            proc_joined.push(h.join().ok());
         }
-        referee_result = Some(ref_handle.join().expect("referee thread panicked"));
+        referee_joined = ref_handle.join().ok();
     });
 
-    let proc_results: Vec<ProcResult> = proc_results.into_iter().map(Option::unwrap).collect();
-    let rr = referee_result.expect("referee result present");
+    let mut proc_results: Vec<ProcResult> = Vec::with_capacity(m);
+    for joined in proc_joined {
+        match joined {
+            Some(Ok(r)) => proc_results.push(r),
+            Some(Err(e)) => return Err(e),
+            None => return Err(RunError::Protocol("a processor thread panicked".into())),
+        }
+    }
+    let rr = match referee_joined {
+        Some(Ok(rr)) => rr,
+        Some(Err(e)) => return Err(e),
+        None => return Err(RunError::Protocol("the referee thread panicked".into())),
+    };
 
     // --- Money -------------------------------------------------------------
     // Ledger and outcomes are assembled in ORIGINAL indexing.
     let mut ledger = Ledger::new();
-    let orig_index = |active_pos: usize| active[active_pos];
+    // Verdict and payment indices come from `verdict_for` / the payment
+    // vector, both of which only emit active positions `0..m`; a position
+    // outside the active set maps to itself as a last resort so a money
+    // movement is never silently dropped.
+    let orig_index = |active_pos: usize| active.get(active_pos).copied().unwrap_or(active_pos);
 
     for (phase, verdict) in &rr.verdicts {
         let _ = phase;
@@ -517,7 +668,9 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     let (timeline, makespan) = if rr.meters.is_some() {
         let exec: Vec<f64> = procs.iter().map(|p| p.exec_w()).collect();
         let alloc: Vec<f64> = proc_results.iter().map(|r| r.alloc_fraction).collect();
-        let params = BusParams::new(z, exec).expect("validated rates");
+        // Realized rates come from validated configs (finite, positive).
+        let params = BusParams::new(z, exec)
+            .map_err(|_| RunError::Protocol("realized execution rates invalid".into()))?;
         let tl = simulate(&NetSessionSpec::new(model, params, alloc));
         let mk = tl.makespan;
         (Some(tl), Some(mk))
@@ -527,10 +680,10 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
 
     // --- Per-processor outcomes in original indexing ------------------------
     let mut processors = Vec::with_capacity(cfg.m());
-    for orig in 0..cfg.m() {
+    for (orig, &config) in cfg.processors.iter().enumerate() {
         let outcome = match to_active.get(&orig) {
             None => ProcessorOutcome {
-                config: cfg.processors[orig],
+                config,
                 participated: false,
                 bid: None,
                 alloc_fraction: 0.0,
@@ -543,7 +696,11 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
                 utility: 0.0,
             },
             Some(&pos) => {
-                let r = &proc_results[pos];
+                let Some(r) = proc_results.get(pos) else {
+                    return Err(RunError::Protocol(format!(
+                        "active position {pos} has no processor result"
+                    )));
+                };
                 let account = Account::Processor(orig);
                 let fined: f64 = ledger
                     .journal()
@@ -560,13 +717,13 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
                 let cost = r.meter;
                 let utility = ledger.balance(&account) - cost;
                 ProcessorOutcome {
-                    config: cfg.processors[orig],
+                    config,
                     participated: true,
                     bid: r.bid,
                     alloc_fraction: r.alloc_fraction,
                     blocks_granted: r.blocks_granted,
                     meter: r.meter,
-                    payment: rr.final_q.as_ref().map(|q| q[pos]),
+                    payment: rr.final_q.as_ref().and_then(|q| q.get(pos).copied()),
                     fined,
                     rewarded,
                     cost,
@@ -610,48 +767,63 @@ fn generate_keys_cached(
     {
         let mut guard = CACHE.lock();
         let cache = guard.get_or_insert_with(Cache::new);
-        for (idx, id) in identities.iter().enumerate() {
+        for (idx, (slot, id)) in out.iter_mut().zip(identities).enumerate() {
             match cache.get(&(id.clone(), bits, seed)) {
-                Some(kp) => out[idx] = Some(kp.clone()),
+                Some(kp) => *slot = Some(kp.clone()),
                 None => misses.push((idx, id.clone())),
             }
         }
     }
     if !misses.is_empty() {
-        let generated: Vec<(usize, Result<KeyPair, RunError>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = misses
-                .iter()
-                .map(|(idx, id)| {
-                    let idx = *idx;
-                    let id = id.clone();
-                    scope.spawn(move || {
-                        // Distinct deterministic stream per identity.
-                        let mut h = dls_crypto::sha256::Sha256::new();
-                        h.update(&seed.to_le_bytes());
-                        h.update(id.as_bytes());
-                        let digest = h.finalize();
-                        let sub_seed = u64::from_le_bytes(digest[..8].try_into().unwrap());
-                        let mut rng = StdRng::seed_from_u64(sub_seed);
-                        let kp = KeyPair::generate(id, bits, &mut rng)
-                            .map_err(|e| RunError::Crypto(e.to_string()));
-                        (idx, kp)
+        let generated: Result<Vec<(usize, Result<KeyPair, RunError>)>, RunError> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = misses
+                    .iter()
+                    .map(|(idx, id)| {
+                        let idx = *idx;
+                        let id = id.clone();
+                        scope.spawn(move || {
+                            // Distinct deterministic stream per identity.
+                            let mut h = dls_crypto::sha256::Sha256::new();
+                            h.update(&seed.to_le_bytes());
+                            h.update(id.as_bytes());
+                            let digest = h.finalize();
+                            // Little-endian fold of the first 8 digest
+                            // bytes (equals u64::from_le_bytes without the
+                            // panicking slice-to-array conversion).
+                            let sub_seed = digest
+                                .iter()
+                                .take(8)
+                                .rev()
+                                .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
+                            let mut rng = StdRng::seed_from_u64(sub_seed);
+                            let kp = KeyPair::generate(id, bits, &mut rng)
+                                .map_err(|e| RunError::Crypto(e.to_string()));
+                            (idx, kp)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("keygen thread panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .map_err(|_| RunError::Crypto("keygen thread panicked".into()))
+                    })
+                    .collect()
+            });
         let mut guard = CACHE.lock();
         let cache = guard.get_or_insert_with(Cache::new);
-        for (idx, kp) in generated {
+        for (idx, kp) in generated? {
             let kp = kp?;
             cache.insert((kp.identity().to_string(), bits, seed), kp.clone());
-            out[idx] = Some(kp);
+            if let Some(slot) = out.get_mut(idx) {
+                *slot = Some(kp);
+            }
         }
     }
-    Ok(out.into_iter().map(Option::unwrap).collect())
+    out.into_iter()
+        .map(|kp| kp.ok_or_else(|| RunError::Crypto("missing generated key".into())))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -669,7 +841,7 @@ struct ProcCtx {
     key: KeyPair,
     registry: Registry,
     net: Arc<Net>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<PhaseBarrier>,
     rx: Receiver<Msg>,
     /// The user's data set — held only by the originating processor.
     dataset: Option<Arc<DataSet>>,
@@ -683,7 +855,7 @@ struct ProcResult {
     meter: f64,
 }
 
-fn processor_main(ctx: ProcCtx) -> ProcResult {
+fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
     let ProcCtx {
         i,
         m,
@@ -699,6 +871,7 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
         rx,
         dataset,
     } = ctx;
+    let sign_err = |e: dls_crypto::pki::SignatureError| RunError::Crypto(e.to_string());
     let mut inbox = ProcInbox::new(rx);
     let mut result = ProcResult {
         bid: None,
@@ -708,14 +881,16 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
     };
 
     // ---- Phase 1: Bidding --------------------------------------------------
-    let my_bid = cfg.bid().expect("non-participants are filtered out");
+    let my_bid = cfg
+        .bid()
+        .ok_or_else(|| RunError::Protocol("a non-participant reached the bidding phase".into()))?;
     result.bid = Some(my_bid);
     let first = key
         .sign(BidBody {
             processor: i,
             bid: my_bid,
         })
-        .expect("bid signs");
+        .map_err(sign_err)?;
     net.broadcast(i, Msg::Bid(first.clone()));
     match cfg.behavior {
         Behavior::EquivocateBids { factor } => {
@@ -724,7 +899,7 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
                     processor: i,
                     bid: my_bid * factor,
                 })
-                .expect("bid signs");
+                .map_err(sign_err)?;
             net.broadcast(i, Msg::Bid(second));
         }
         Behavior::ForgeExtraBid { impersonate } => {
@@ -743,11 +918,13 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
         }
         _ => {}
     }
-    barrier.wait(); // B1: all bids delivered
+    barrier.wait()?; // B1: all bids delivered
 
     // Collect bids; note equivocators.
     let mut bid_view: Vec<Option<Signed<BidBody>>> = vec![None; m];
-    bid_view[i] = Some(first);
+    if let Some(slot) = bid_view.get_mut(i) {
+        *slot = Some(first);
+    }
     let mut equivocation: Option<(usize, Signed<BidBody>, Signed<BidBody>)> = None;
     let incoming_bids = inbox.take_all(|m| match m {
         Msg::Bid(signed) => Some(signed.clone()),
@@ -758,16 +935,26 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
             continue; // failed verification: discarded (§4)
         };
         let sender = body.processor;
-        if sender >= m || signed.signer() != format!("P{}", sender + 1) {
+        if signed.signer() != format!("P{}", sender + 1) {
             continue;
         }
-        match &bid_view[sender] {
-            None => bid_view[sender] = Some(signed),
-            Some(existing) => {
-                if existing.body_unverified() != signed.body_unverified() {
-                    equivocation = Some((sender, existing.clone(), signed));
-                }
+        // Validate the bid value at receipt: only finite positive rates
+        // form valid bus parameters, so everything downstream (α, counts,
+        // payments) is infallible on the agreed vector. An invalid value
+        // is discarded like a failed signature.
+        if !(body.bid.is_finite() && body.bid > 0.0) {
+            continue;
+        }
+        // `get_mut` also rejects out-of-range sender indices.
+        let Some(slot) = bid_view.get_mut(sender) else {
+            continue;
+        };
+        if let Some(existing) = slot {
+            if existing.body_unverified() != signed.body_unverified() {
+                equivocation = Some((sender, existing.clone(), signed));
             }
+        } else {
+            *slot = Some(signed);
         }
     }
     let report = match &equivocation {
@@ -781,34 +968,38 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
         None => PhaseReport::Ok,
     };
     net.to_referee(i, Msg::Report { from: i, report });
-    barrier.wait(); // B2: reports in
-    barrier.wait(); // B3: verdict broadcast
-    let verdict = inbox.take_verdict();
+    barrier.wait()?; // B2: reports in
+    barrier.wait()?; // B3: verdict broadcast
+    let verdict = inbox.take_verdict().ok_or_else(|| missing("bidding verdict"))?;
     if !verdict.proceed {
-        return result;
+        return Ok(result);
     }
 
     // Everyone has exactly one bid per peer now (otherwise the session
     // would have aborted); assemble the agreed bid vector.
-    let signed_bids: Vec<Signed<BidBody>> = bid_view
-        .into_iter()
-        .map(|b| b.expect("bid present after clean bidding phase"))
-        .collect();
+    let mut signed_bids: Vec<Signed<BidBody>> = Vec::with_capacity(m);
+    for b in bid_view {
+        signed_bids.push(b.ok_or_else(|| missing("peer bid after clean bidding phase"))?);
+    }
     let bids: Vec<f64> = signed_bids
         .iter()
         .map(|s| s.body_unverified().bid)
         .collect();
-    let params = BusParams::new(z, bids.clone()).expect("bids validated");
+    // Infallible: every collected bid was validated finite-positive above.
+    let params = BusParams::new(z, bids.clone())
+        .map_err(|_| RunError::Protocol("agreed bids do not form valid bus parameters".into()))?;
     let alpha = dls_dlt::optimal::fractions(model, &params);
     let counts = integer_allocation(&alpha, blocks_total);
-    result.alloc_fraction = alpha[i];
+    result.alloc_fraction = alpha.get(i).copied().unwrap_or(0.0);
 
     // ---- Phase 2: Allocating load -------------------------------------------
     let mut my_blocks: Vec<crate::blocks::SignedBlock> = Vec::new();
     if i == originator {
         // The originator holds the data set (it received it from the user
         // out of band). Deviant originators tamper with the counts here.
-        let dataset = dataset.as_ref().expect("originator holds the data set");
+        let dataset = dataset
+            .as_ref()
+            .ok_or_else(|| RunError::Protocol("originator is missing the data set".into()))?;
         let grants = dataset.split(&counts);
         for (to, blocks) in grants.into_iter().enumerate() {
             if to == i {
@@ -824,24 +1015,21 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
                 Behavior::OverAllocate { victim, excess } if victim == to => {
                     // Pad with duplicates of the victim's first block (or
                     // block 0 of the data set when the grant is empty).
-                    let pad = blocks
-                        .first()
-                        .cloned()
-                        .unwrap_or_else(|| dataset.blocks()[0].clone());
-                    for _ in 0..excess {
-                        blocks.push(pad.clone());
+                    if let Some(pad) = blocks.first().or_else(|| dataset.blocks().first()).cloned()
+                    {
+                        for _ in 0..excess {
+                            blocks.push(pad.clone());
+                        }
                     }
                 }
                 _ => {}
             }
-            let grant = key
-                .sign(GrantBody { to, blocks })
-                .expect("grant signs");
+            let grant = key.sign(GrantBody { to, blocks }).map_err(sign_err)?;
             net.unicast(to, Msg::Grant(grant));
         }
         result.blocks_granted = my_blocks.len();
     }
-    barrier.wait(); // B4: grants delivered
+    barrier.wait()?; // B4: grants delivered
 
     let mut alloc_report = PhaseReport::Ok;
     if i != originator {
@@ -864,7 +1052,7 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
                     .unwrap_or(0);
                 result.blocks_granted = valid_blocks;
                 my_blocks = grant.body_unverified().blocks.clone();
-                let expected = counts[i];
+                let expected = counts.get(i).copied().unwrap_or(0);
                 let mismatch = valid_blocks != expected;
                 let false_accusation =
                     cfg.behavior == Behavior::FalselyAccuseAllocation && !mismatch;
@@ -899,11 +1087,13 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
             report: alloc_report,
         },
     );
-    barrier.wait(); // B5: allocation reports in
-    barrier.wait(); // B6: verdict broadcast
-    let verdict = inbox.take_verdict();
+    barrier.wait()?; // B5: allocation reports in
+    barrier.wait()?; // B6: verdict broadcast
+    let verdict = inbox
+        .take_verdict()
+        .ok_or_else(|| missing("allocation verdict"))?;
     if !verdict.proceed {
-        return result;
+        return Ok(result);
     }
 
     // ---- Phase 3: Processing -------------------------------------------------
@@ -915,13 +1105,14 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
     let phi = real_fraction * cfg.exec_w();
     result.meter = phi;
     net.to_referee(i, Msg::Meter { of: i, phi });
-    barrier.wait(); // B7: meters in
-    barrier.wait(); // B8: meters broadcast
+    barrier.wait()?; // B7: meters in
+    barrier.wait()?; // B8: meters broadcast
     let meters: Vec<f64> = inbox
         .take_first(|m| match m {
             Msg::Meters(v) => Some(v.clone()),
             _ => None,
-        });
+        })
+        .ok_or_else(|| missing("meter vector"))?;
 
     // ---- Phase 4: Computing payments ------------------------------------------
     // w̃_j = φ_j / α_j (per §4, Computing Payments).
@@ -945,14 +1136,16 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
             })
             .collect();
     if let Behavior::CorruptPayments { target, factor } = cfg.behavior {
-        q[target].compensation *= factor;
+        if let Some(entry) = q.get_mut(target) {
+            entry.compensation *= factor;
+        }
     }
     let pv = key
         .sign(PaymentVectorBody { processor: i, q })
-        .expect("payment vector signs");
+        .map_err(sign_err)?;
     net.to_referee(i, Msg::PaymentVector(pv));
-    barrier.wait(); // B9: vectors in
-    barrier.wait(); // B10: equality verdict or bid request
+    barrier.wait()?; // B9: vectors in
+    barrier.wait()?; // B10: equality verdict or bid request
     let bid_request = !inbox
         .take_all(|m| matches!(m, Msg::BidRequest).then_some(()))
         .is_empty();
@@ -965,10 +1158,10 @@ fn processor_main(ctx: ProcCtx) -> ProcResult {
             },
         );
     }
-    barrier.wait(); // B11: bid views in (possibly none)
-    barrier.wait(); // B12: final verdict
+    barrier.wait()?; // B11: bid views in (possibly none)
+    barrier.wait()?; // B12: final verdict
     let _ = inbox.take_verdict();
-    result
+    Ok(result)
 }
 
 // ---------------------------------------------------------------------------
@@ -988,10 +1181,10 @@ fn referee_main(
     referee: Referee,
     m: usize,
     net: Arc<Net>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<PhaseBarrier>,
     rx: Receiver<(usize, Msg)>,
     dataset: Arc<DataSet>,
-) -> RefResult {
+) -> Result<RefResult, RunError> {
     let mut result = RefResult {
         aborted: None,
         any_fines: false,
@@ -1001,45 +1194,50 @@ fn referee_main(
     };
 
     // ---- Bidding ----
-    barrier.wait(); // B1
-    barrier.wait(); // B2: reports are in
+    barrier.wait()?; // B1
+    barrier.wait()?; // B2: reports are in
     let reports = collect_reports(&rx);
     let verdict = referee.adjudicate_bidding(&reports);
     record_verdict(&mut result, Phase::Bidding, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict.clone()));
-    barrier.wait(); // B3
+    barrier.wait()?; // B3
     if !verdict.proceed {
         result.aborted = Some(Phase::Bidding);
-        return result;
+        return Ok(result);
     }
 
     // ---- Allocating ----
-    barrier.wait(); // B4
-    barrier.wait(); // B5: allocation reports in
+    barrier.wait()?; // B4
+    barrier.wait()?; // B5: allocation reports in
     let reports = collect_reports(&rx);
     let verdict = referee.adjudicate_allocation(&reports, &dataset);
     record_verdict(&mut result, Phase::Allocating, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict.clone()));
-    barrier.wait(); // B6
+    barrier.wait()?; // B6
     if !verdict.proceed {
         result.aborted = Some(Phase::Allocating);
-        return result;
+        return Ok(result);
     }
 
     // ---- Processing ----
-    barrier.wait(); // B7: meters in
+    barrier.wait()?; // B7: meters in
     let mut meters = vec![0.0; m];
     for (_, msg) in drain_referee(&rx) {
         if let Msg::Meter { of, phi } = msg {
-            meters[of] = phi;
+            // `get_mut` discards meter readings with an out-of-range
+            // subject instead of tearing the session down; the runtime
+            // emits these from validated indices.
+            if let Some(slot) = meters.get_mut(of) {
+                *slot = phi;
+            }
         }
     }
     result.meters = Some(meters.clone());
     net.broadcast_referee(Msg::Meters(meters.clone()));
-    barrier.wait(); // B8
+    barrier.wait()?; // B8
 
     // ---- Payments ----
-    barrier.wait(); // B9: payment vectors in
+    barrier.wait()?; // B9: payment vectors in
     let mut vectors = Vec::new();
     for (_, msg) in drain_referee(&rx) {
         if let Msg::PaymentVector(v) = msg {
@@ -1047,24 +1245,28 @@ fn referee_main(
         }
     }
     // First, the cheap equality check (no processor parameters needed).
-    let all_equal = vectors_all_equal(&vectors, m, &referee);
-    if all_equal {
+    let agreed = if vectors_all_equal(&vectors, m, &referee) {
+        vectors.first()
+    } else {
+        None
+    };
+    if let Some(first) = agreed {
         // Forward the agreed vector.
-        let q = vectors[0].body_unverified().q.clone();
+        let q = first.body_unverified().q.clone();
         result.final_q = Some(q);
         net.broadcast_referee(Msg::Verdict(Verdict::ok()));
         record_verdict(&mut result, Phase::Payments, &Verdict::ok());
-        barrier.wait(); // B10
-        barrier.wait(); // B11 (no bid views)
+        barrier.wait()?; // B10
+        barrier.wait()?; // B11 (no bid views)
         net.broadcast_referee(Msg::Verdict(Verdict::ok()));
-        barrier.wait(); // B12
-        return result;
+        barrier.wait()?; // B12
+        return Ok(result);
     }
 
     // Vectors disagree: request the bids (§4).
     net.broadcast_referee(Msg::BidRequest);
-    barrier.wait(); // B10
-    barrier.wait(); // B11: bid views in
+    barrier.wait()?; // B10
+    barrier.wait()?; // B11: bid views in
     let mut bids: Option<Vec<f64>> = None;
     for (_, msg) in drain_referee(&rx) {
         let Msg::BidView { view, .. } = msg else {
@@ -1077,9 +1279,14 @@ fn referee_main(
             bids = Some(b);
         }
     }
-    let bids = bids.expect("at least one honest bid view");
-    let meters = result.meters.clone().expect("meters recorded");
-    let params = BusParams::new(referee_z(&referee), bids.clone()).expect("valid bids");
+    // At least one honest processor exists under the fault model (§5);
+    // if every submitted view is unverifiable the session cannot be
+    // adjudicated and errors out instead of panicking the referee.
+    let bids = bids.ok_or_else(|| {
+        RunError::Protocol("no verifiable bid view received for payment adjudication".into())
+    })?;
+    let params = BusParams::new(referee_z(&referee), bids.clone())
+        .map_err(|_| RunError::Protocol("verified bid view has invalid rates".into()))?;
     let alpha = dls_dlt::optimal::fractions(referee_model(&referee), &params);
     let observed: Vec<f64> = meters
         .iter()
@@ -1087,12 +1294,14 @@ fn referee_main(
         .zip(bids.iter())
         .map(|((phi, a), b)| if *a > 0.0 && *phi > 0.0 { phi / a } else { *b })
         .collect();
-    let (verdict, correct) = referee.adjudicate_payments(&vectors, &bids, &observed);
+    let (verdict, correct) = referee
+        .adjudicate_payments(&vectors, &bids, &observed)
+        .map_err(|e| RunError::Protocol(e.to_string()))?;
     result.final_q = Some(correct);
     record_verdict(&mut result, Phase::Payments, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict));
-    barrier.wait(); // B12
-    result
+    barrier.wait()?; // B12
+    Ok(result)
 }
 
 fn collect_reports(rx: &Receiver<(usize, Msg)>) -> Vec<(usize, PhaseReport)> {
@@ -1126,10 +1335,14 @@ fn vectors_all_equal(
         let Ok(body) = sv.verify(referee_registry(referee)) else {
             return false;
         };
-        if body.processor >= m || per_proc[body.processor].is_some() {
+        // `get_mut` rejects out-of-range indices; duplicates also fail.
+        let Some(slot) = per_proc.get_mut(body.processor) else {
+            return false;
+        };
+        if slot.is_some() {
             return false;
         }
-        per_proc[body.processor] = Some(body);
+        *slot = Some(body);
     }
     let Some(first) = per_proc.first().and_then(|b| *b) else {
         return false;
@@ -1157,13 +1370,21 @@ fn verify_bid_view(
     let mut bids = vec![f64::NAN; m];
     for sb in view {
         let body = sb.verify(referee_registry(referee)).ok()?;
-        if body.processor >= m
-            || sb.signer() != format!("P{}", body.processor + 1)
-            || !bids[body.processor].is_nan()
-        {
+        if sb.signer() != format!("P{}", body.processor + 1) {
             return None;
         }
-        bids[body.processor] = body.bid;
+        // Only finite positive rates form valid bus parameters; a view
+        // carrying anything else is rejected like a bad signature.
+        if !(body.bid.is_finite() && body.bid > 0.0) {
+            return None;
+        }
+        // `get_mut` also rejects out-of-range indices; a non-NaN slot is
+        // a duplicate.
+        let slot = bids.get_mut(body.processor)?;
+        if !slot.is_nan() {
+            return None;
+        }
+        *slot = body.bid;
     }
     Some(bids)
 }
@@ -1204,7 +1425,7 @@ mod tests {
         tx.send(bid_msg(0, 1.0)).unwrap();
         tx.send(Msg::Verdict(Verdict::ok())).unwrap();
         // Take the verdict; the bid must be held back...
-        let v = inbox.take_verdict();
+        let v = inbox.take_verdict().unwrap();
         assert!(v.proceed);
         // ...and surface on the next drain, ahead of newer messages.
         tx.send(bid_msg(1, 2.0)).unwrap();
@@ -1228,7 +1449,7 @@ mod tests {
             rewards: vec![],
         }))
         .unwrap();
-        let v = inbox.take_verdict();
+        let v = inbox.take_verdict().unwrap();
         assert!(!v.proceed);
         // The bid survived two verdict takes.
         let bids = inbox.take_all(|m| match m {
@@ -1239,11 +1460,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expected message missing")]
-    fn inbox_take_first_panics_when_absent() {
+    fn inbox_take_first_none_when_absent() {
         let (_tx, rx) = unbounded::<Msg>();
         let mut inbox = ProcInbox::new(rx);
-        let _ = inbox.take_verdict();
+        assert!(inbox.take_verdict().is_none());
+    }
+
+    #[test]
+    fn phase_barrier_abort_releases_waiters() {
+        let barrier = Arc::new(PhaseBarrier::new(2));
+        let waiter = {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || barrier.wait())
+        };
+        barrier.abort("fixture failure");
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, RunError::Protocol(ref s) if s == "fixture failure"));
+        // Late arrivals observe the sticky abort immediately.
+        assert!(barrier.wait().is_err());
+    }
+
+    #[test]
+    fn phase_barrier_releases_all_parties_per_generation() {
+        let barrier = Arc::new(PhaseBarrier::new(3));
+        let spawn_waiter = |b: &Arc<PhaseBarrier>| {
+            let b = Arc::clone(b);
+            std::thread::spawn(move || b.wait().and_then(|()| b.wait()))
+        };
+        let a = spawn_waiter(&barrier);
+        let b = spawn_waiter(&barrier);
+        assert!(barrier.wait().is_ok());
+        assert!(barrier.wait().is_ok());
+        assert!(a.join().unwrap().is_ok());
+        assert!(b.join().unwrap().is_ok());
     }
 
     #[test]

@@ -1,2 +1,5 @@
 //! Shared helpers for the example binaries live in the binaries themselves;
 //! this crate exists to host the `src/bin/*.rs` examples as a workspace member.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

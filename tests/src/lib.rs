@@ -1,2 +1,5 @@
 //! This crate exists to host integration tests spanning the workspace crates
 //! (see the `tests/` directory of this package).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

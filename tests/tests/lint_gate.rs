@@ -1,0 +1,47 @@
+//! The lint gate: `cargo test` fails if any workspace invariant checked
+//! by `dls-lint` is violated.
+//!
+//! The same scan is available interactively as `cargo run -p dls-lint`
+//! (add `--json` for machine-readable output).
+
+use std::path::Path;
+
+/// Walks up from this package to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+fn workspace_root() -> &'static Path {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    here.ancestors()
+        .find(|dir| {
+            std::fs::read_to_string(dir.join("Cargo.toml"))
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+        })
+        .expect("test package lives inside the workspace")
+}
+
+#[test]
+fn workspace_passes_dls_lint() {
+    let report = dls_lint::scan_workspace(workspace_root()).expect("scan runs");
+    assert!(
+        report.is_clean(),
+        "dls-lint found violations:\n\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn lint_scan_covers_the_whole_workspace() {
+    // A refactor that silently excludes members from the scan would make
+    // the gate above pass vacuously; pin rough coverage floors.
+    let report = dls_lint::scan_workspace(workspace_root()).expect("scan runs");
+    assert!(
+        report.files_scanned >= 70,
+        "only {} files scanned — did member discovery break?",
+        report.files_scanned
+    );
+    assert!(
+        report.manifests_checked >= 11,
+        "only {} manifests checked — did member discovery break?",
+        report.manifests_checked
+    );
+}

@@ -1,0 +1,55 @@
+//! Payment-solver benchmark harness: `cargo run --release --bin payments`.
+//!
+//! Writes `BENCH_payments.json` (schema `dls-bench-payments-v1`) in the
+//! current directory and prints the headline exact-path speedup. Flags:
+//!
+//! * `--quick` — the seconds-scale subset used by the schema test
+//! * `--out <path>` — write the JSON somewhere else
+
+use dls_bench::payments::{run_sweep, render_json, speedup, SweepConfig};
+
+fn main() {
+    let mut cfg = SweepConfig::full();
+    let mut out = String::from("BENCH_payments.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = SweepConfig::quick(),
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other}; supported: --quick, --out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let entries = run_sweep(&cfg);
+    let json = render_json(&cfg, &entries);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} entries to {out}", entries.len());
+
+    // Headline numbers: the exact-path speedup at the largest size where
+    // both solvers have entries (measured or extrapolated), per model.
+    let m_headline = cfg
+        .extrapolate_naive_to
+        .iter()
+        .chain(&cfg.exact_naive_sizes)
+        .copied()
+        .filter(|m| cfg.exact_sizes.contains(m))
+        .max();
+    if let Some(m) = m_headline {
+        for model in ["cp", "ncp-fe", "ncp-nfe"] {
+            if let Some(s) = speedup(&entries, model, m, "exact-fast", "exact-naive") {
+                println!("{model:8} m={m:5} exact-fast is {s:.1}x faster than exact-naive");
+            }
+        }
+    }
+}

@@ -1,5 +1,9 @@
-//! Shared workload generators for the benchmark harness live in the harness binaries; this lib hosts common helpers.
+//! Shared benchmark infrastructure: [`workloads`] hosts the deterministic
+//! rate generators used by the Criterion benches, the experiment harness,
+//! and the payments harness (`src/bin/payments.rs`); [`payments`] hosts the
+//! payment-solver sweep behind the committed `BENCH_payments.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+pub mod payments;
 pub mod workloads;

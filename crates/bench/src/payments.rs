@@ -1,0 +1,453 @@
+//! Deterministic payment-solver sweep: the data source for
+//! `BENCH_payments.json` and the start of the recorded perf trajectory.
+//!
+//! The sweep times the four payment paths — `f64-fast` / `f64-naive`
+//! ([`dls_mechanism::compute_payments`] vs
+//! [`dls_mechanism::compute_payments_naive`]) and `exact-fast` /
+//! `exact-naive` ([`compute_payments_exact`] vs
+//! [`compute_payments_exact_naive`]), plus the opt-in `exact-parallel`
+//! path — across market sizes and all three bus models, on workloads from
+//! [`crate::workloads::quantized_rates`] (dyadic rates, frozen generator,
+//! no external RNG). Everything about a run is a pure function of the
+//! [`SweepConfig`], so two machines produce entry-for-entry comparable
+//! files (wall-clock numbers differ; structure and workloads do not).
+//!
+//! The naive exact path is Θ(m²) with growing limb counts, so measuring it
+//! at the largest sizes would dominate the whole sweep. The harness instead
+//! measures it up to `exact_naive_sizes` and extrapolates to
+//! `extrapolate_naive_to` with a power-law fit through the two largest
+//! measured sizes — entries so produced carry `"extrapolated": true` and
+//! the methodology is documented in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use dls_dlt::{optimal, BusParams, SystemModel, ALL_MODELS};
+use dls_mechanism::exact::{
+    compute_payments_exact, compute_payments_exact_naive, compute_payments_exact_parallel,
+    ExactPayment,
+};
+use dls_mechanism::{compute_payments, compute_payments_naive};
+use dls_num::Rational;
+
+use crate::workloads::quantized_rates;
+
+/// Schema identifier written into the JSON header; bump when the layout of
+/// the file changes incompatibly.
+pub const SCHEMA: &str = "dls-bench-payments-v1";
+
+/// Everything that determines a sweep. All workload inputs are here, so the
+/// output is reproducible from the config alone.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// splitmix64 seed for the rate workload.
+    pub seed: u64,
+    /// Bus communication rate `z` (dyadic, exactly representable).
+    pub z: f64,
+    /// Lower bound of the log-uniform rate range.
+    pub lo: f64,
+    /// Upper bound of the log-uniform rate range.
+    pub hi: f64,
+    /// Rates are quantized to multiples of `1/denom` (power of two keeps
+    /// the exact path's denominators dyadic).
+    pub denom: u32,
+    /// Market sizes for the O(m) f64 path.
+    pub f64_sizes: Vec<usize>,
+    /// Market sizes for the Θ(m²) f64 oracle.
+    pub f64_naive_sizes: Vec<usize>,
+    /// Market sizes for the O(m) exact-rational path.
+    pub exact_sizes: Vec<usize>,
+    /// Market sizes where the Θ(m²) exact oracle is actually timed.
+    pub exact_naive_sizes: Vec<usize>,
+    /// Market sizes where the exact oracle is power-law extrapolated
+    /// instead of timed (must exceed the largest measured naive size).
+    pub extrapolate_naive_to: Vec<usize>,
+    /// Sizes at which the scoped-thread exact path is timed (0 = skip).
+    pub exact_parallel_sizes: Vec<usize>,
+    /// Thread count for the parallel path.
+    pub threads: usize,
+    /// Per-cell time budget in nanoseconds: repetitions stop once this much
+    /// wall-clock has been spent (at least two reps always run).
+    pub target_ns_per_cell: u128,
+}
+
+impl SweepConfig {
+    /// The full sweep behind the committed `BENCH_payments.json`.
+    pub fn full() -> Self {
+        SweepConfig {
+            seed: 42,
+            z: 0.0625,
+            lo: 1.0,
+            hi: 8.0,
+            denom: 64,
+            f64_sizes: vec![4, 16, 64, 256, 1024, 4096],
+            f64_naive_sizes: vec![4, 16, 64, 256, 1024, 4096],
+            exact_sizes: vec![4, 16, 64, 256, 512],
+            exact_naive_sizes: vec![4, 16, 64, 128],
+            extrapolate_naive_to: vec![256, 512],
+            exact_parallel_sizes: vec![64, 256, 512],
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            target_ns_per_cell: 250_000_000,
+        }
+    }
+
+    /// A seconds-scale subset used by the tier-1 schema test.
+    pub fn quick() -> Self {
+        SweepConfig {
+            f64_sizes: vec![4, 16],
+            f64_naive_sizes: vec![4, 16],
+            exact_sizes: vec![4, 16],
+            exact_naive_sizes: vec![4, 8],
+            extrapolate_naive_to: vec![16],
+            exact_parallel_sizes: vec![16],
+            target_ns_per_cell: 2_000_000,
+            ..SweepConfig::full()
+        }
+    }
+}
+
+/// One measured (or extrapolated) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Model slug: `"cp"`, `"ncp-fe"`, or `"ncp-nfe"`.
+    pub model: &'static str,
+    /// Market size.
+    pub m: usize,
+    /// Path slug: `"f64-fast"`, `"f64-naive"`, `"exact-fast"`,
+    /// `"exact-naive"`, or `"exact-parallel"`.
+    pub path: &'static str,
+    /// Best-of-reps wall-clock for one full payment vector, nanoseconds.
+    pub ns_per_op: u128,
+    /// Largest numerator/denominator bit-length across the produced
+    /// payments; `0` for the f64 paths where it does not apply.
+    pub peak_rational_bits: usize,
+    /// `true` when `ns_per_op` comes from the power-law fit rather than a
+    /// measurement.
+    pub extrapolated: bool,
+}
+
+/// Model slug used in the JSON (short, lowercase, stable).
+pub fn model_slug(model: SystemModel) -> &'static str {
+    match model {
+        SystemModel::Cp => "cp",
+        SystemModel::NcpFe => "ncp-fe",
+        SystemModel::NcpNfe => "ncp-nfe",
+    }
+}
+
+/// The workload for a given size: bids plus observed rates where every
+/// seventh agent slacks by one quantum (keeps rates dyadic while
+/// exercising the mixed-schedule shift in every path).
+pub fn workload(cfg: &SweepConfig, m: usize) -> (Vec<f64>, Vec<f64>) {
+    let bids = quantized_rates(m, cfg.lo, cfg.hi, cfg.seed, cfg.denom);
+    let observed = bids
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            if i % 7 == 3 {
+                w + 1.0 / cfg.denom as f64
+            } else {
+                w
+            }
+        })
+        .collect();
+    (bids, observed)
+}
+
+fn to_rationals(xs: &[f64]) -> Vec<Rational> {
+    xs.iter()
+        .map(|&x| Rational::from_f64(x).expect("workload rates are finite"))
+        .collect()
+}
+
+fn peak_bits(payments: &[ExactPayment]) -> usize {
+    payments
+        .iter()
+        .map(|p| p.compensation.bit_complexity().max(p.bonus.bit_complexity()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Times `op` with a min-of-reps loop: at least two repetitions, stopping
+/// once `target_ns` total has elapsed or 64 reps have run.
+fn time_ns<R>(target_ns: u128, mut op: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut reps: u32 = 0;
+    let mut total: u128 = 0;
+    let mut last;
+    loop {
+        let t0 = Instant::now();
+        last = op();
+        let dt = t0.elapsed().as_nanos();
+        best = best.min(dt);
+        total += dt;
+        reps += 1;
+        if reps >= 2 && (total >= target_ns || reps >= 64) {
+            return (best, last);
+        }
+    }
+}
+
+/// Power-law extrapolation `t(m) = t1·(m/m1)^p` through the two largest
+/// measured `(m, ns)` points. Returns `None` with fewer than two points.
+pub fn extrapolate(points: &[(usize, u128)], m: usize) -> Option<u128> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut pts = points.to_vec();
+    pts.sort_unstable();
+    let (m0, t0) = pts[pts.len() - 2];
+    let (m1, t1) = pts[pts.len() - 1];
+    if m0 == 0 || t0 == 0 || m1 <= m0 {
+        return None;
+    }
+    let p = ((t1 as f64) / (t0 as f64)).ln() / ((m1 as f64) / (m0 as f64)).ln();
+    let ns = t1 as f64 * ((m as f64) / (m1 as f64)).powf(p);
+    Some(ns as u128)
+}
+
+/// Runs the whole sweep, emitting progress on stderr.
+pub fn run_sweep(cfg: &SweepConfig) -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    for &model in &ALL_MODELS {
+        let slug = model_slug(model);
+
+        for &m in &cfg.f64_sizes {
+            let (bids, observed) = workload(cfg, m);
+            let params = BusParams::new(cfg.z, bids).expect("positive quantized rates");
+            let alloc = optimal::fractions(model, &params);
+            let (ns, _) = time_ns(cfg.target_ns_per_cell, || {
+                compute_payments(model, &params, &alloc, &observed)
+            });
+            eprintln!("{slug:8} m={m:5} f64-fast       {ns:>12} ns/op");
+            entries.push(BenchEntry {
+                model: slug,
+                m,
+                path: "f64-fast",
+                ns_per_op: ns,
+                peak_rational_bits: 0,
+                extrapolated: false,
+            });
+        }
+
+        for &m in &cfg.f64_naive_sizes {
+            let (bids, observed) = workload(cfg, m);
+            let params = BusParams::new(cfg.z, bids).expect("positive quantized rates");
+            let alloc = optimal::fractions(model, &params);
+            let (ns, _) = time_ns(cfg.target_ns_per_cell, || {
+                compute_payments_naive(model, &params, &alloc, &observed)
+            });
+            eprintln!("{slug:8} m={m:5} f64-naive      {ns:>12} ns/op");
+            entries.push(BenchEntry {
+                model: slug,
+                m,
+                path: "f64-naive",
+                ns_per_op: ns,
+                peak_rational_bits: 0,
+                extrapolated: false,
+            });
+        }
+
+        let z = Rational::from_f64(cfg.z).expect("dyadic z");
+        let mut fast_bits: Vec<(usize, usize)> = Vec::new();
+        for &m in &cfg.exact_sizes {
+            let (bids, observed) = workload(cfg, m);
+            let (bids, observed) = (to_rationals(&bids), to_rationals(&observed));
+            let (ns, pay) = time_ns(cfg.target_ns_per_cell, || {
+                compute_payments_exact(model, &z, &bids, &observed)
+                    .expect("validated workload")
+            });
+            let bits = peak_bits(&pay);
+            fast_bits.push((m, bits));
+            eprintln!("{slug:8} m={m:5} exact-fast     {ns:>12} ns/op  peak {bits} bits");
+            entries.push(BenchEntry {
+                model: slug,
+                m,
+                path: "exact-fast",
+                ns_per_op: ns,
+                peak_rational_bits: bits,
+                extrapolated: false,
+            });
+        }
+
+        let mut naive_points: Vec<(usize, u128)> = Vec::new();
+        for &m in &cfg.exact_naive_sizes {
+            let (bids, observed) = workload(cfg, m);
+            let (bids, observed) = (to_rationals(&bids), to_rationals(&observed));
+            let (ns, pay) = time_ns(cfg.target_ns_per_cell, || {
+                compute_payments_exact_naive(model, &z, &bids, &observed)
+                    .expect("validated workload")
+            });
+            let bits = peak_bits(&pay);
+            naive_points.push((m, ns));
+            eprintln!("{slug:8} m={m:5} exact-naive    {ns:>12} ns/op  peak {bits} bits");
+            entries.push(BenchEntry {
+                model: slug,
+                m,
+                path: "exact-naive",
+                ns_per_op: ns,
+                peak_rational_bits: bits,
+                extrapolated: false,
+            });
+        }
+
+        for &m in &cfg.extrapolate_naive_to {
+            let Some(ns) = extrapolate(&naive_points, m) else {
+                continue;
+            };
+            // The payments are identical whichever solver computes them, so
+            // the fast path's peak bit-length at this size is the honest
+            // value for the extrapolated row too.
+            let bits = fast_bits
+                .iter()
+                .find(|&&(fm, _)| fm == m)
+                .map_or(0, |&(_, b)| b);
+            eprintln!("{slug:8} m={m:5} exact-naive    {ns:>12} ns/op  (extrapolated)");
+            entries.push(BenchEntry {
+                model: slug,
+                m,
+                path: "exact-naive",
+                ns_per_op: ns,
+                peak_rational_bits: bits,
+                extrapolated: true,
+            });
+        }
+
+        for &m in &cfg.exact_parallel_sizes {
+            let (bids, observed) = workload(cfg, m);
+            let (bids, observed) = (to_rationals(&bids), to_rationals(&observed));
+            let (ns, pay) = time_ns(cfg.target_ns_per_cell, || {
+                compute_payments_exact_parallel(model, &z, &bids, &observed, cfg.threads)
+                    .expect("validated workload")
+            });
+            let bits = peak_bits(&pay);
+            eprintln!(
+                "{slug:8} m={m:5} exact-parallel {ns:>12} ns/op  ({} threads)",
+                cfg.threads
+            );
+            entries.push(BenchEntry {
+                model: slug,
+                m,
+                path: "exact-parallel",
+                ns_per_op: ns,
+                peak_rational_bits: bits,
+                extrapolated: false,
+            });
+        }
+    }
+    entries
+}
+
+/// Speedup of `fast_path` over `naive_path` at size `m` for `model`;
+/// `None` when either entry is missing.
+pub fn speedup(
+    entries: &[BenchEntry],
+    model: &str,
+    m: usize,
+    fast_path: &str,
+    naive_path: &str,
+) -> Option<f64> {
+    let find = |path: &str| {
+        entries
+            .iter()
+            .find(|e| e.model == model && e.m == m && e.path == path)
+            .map(|e| e.ns_per_op)
+    };
+    let (fast, naive) = (find(fast_path)?, find(naive_path)?);
+    if fast == 0 {
+        return None;
+    }
+    Some(naive as f64 / fast as f64)
+}
+
+/// Renders the sweep as the committed `BENCH_payments.json` document.
+///
+/// Hand-rolled writer (the workspace deliberately has no JSON dependency);
+/// the only dynamic values are integers, booleans, and short slugs, so
+/// escaping is not needed.
+pub fn render_json(cfg: &SweepConfig, entries: &[BenchEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"seed\": {}, \"z\": {:?}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"threads\": {}}},\n",
+        cfg.seed, cfg.z, cfg.lo, cfg.hi, cfg.denom, cfg.threads
+    ));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"m\": {}, \"path\": \"{}\", \"ns_per_op\": {}, \"peak_rational_bits\": {}, \"extrapolated\": {}}}{sep}\n",
+            e.model, e.m, e.path, e.ns_per_op, e.peak_rational_bits, e.extrapolated
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_recovers_quadratic() {
+        // t = m² exactly; fitting through (64, 4096) and (128, 16384) must
+        // predict 256² and 512².
+        let pts = vec![(16usize, 256u128), (64, 4096), (128, 16384)];
+        assert_eq!(extrapolate(&pts, 256), Some(65536));
+        assert_eq!(extrapolate(&pts, 512), Some(262144));
+        assert_eq!(extrapolate(&pts[..1], 256), None);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_dyadic() {
+        let cfg = SweepConfig::quick();
+        let (bids, observed) = workload(&cfg, 16);
+        assert_eq!(bids.len(), 16);
+        assert_eq!((bids.clone(), observed.clone()), workload(&cfg, 16));
+        // Slackers observe strictly slower rates; everyone else is truthful.
+        for (i, (&b, &o)) in bids.iter().zip(&observed).enumerate() {
+            if i % 7 == 3 {
+                assert!(o > b);
+            } else {
+                assert_eq!(o, b);
+            }
+        }
+    }
+
+    #[test]
+    fn render_json_has_schema_and_balanced_braces() {
+        let cfg = SweepConfig::quick();
+        let entries = vec![BenchEntry {
+            model: "cp",
+            m: 4,
+            path: "f64-fast",
+            ns_per_op: 1200,
+            peak_rational_bits: 0,
+            extrapolated: false,
+        }];
+        let json = render_json(&cfg, &entries);
+        assert!(json.contains("\"schema\": \"dls-bench-payments-v1\""));
+        assert!(json.contains("\"path\": \"f64-fast\""));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(opens, 3, "root + config + one entry");
+    }
+
+    #[test]
+    fn speedup_reads_matching_entries() {
+        let mk = |path: &'static str, ns: u128| BenchEntry {
+            model: "cp",
+            m: 64,
+            path,
+            ns_per_op: ns,
+            peak_rational_bits: 0,
+            extrapolated: false,
+        };
+        let entries = vec![mk("exact-fast", 100), mk("exact-naive", 5000)];
+        assert_eq!(
+            speedup(&entries, "cp", 64, "exact-fast", "exact-naive"),
+            Some(50.0)
+        );
+        assert_eq!(speedup(&entries, "cp", 32, "exact-fast", "exact-naive"), None);
+    }
+}

@@ -59,9 +59,11 @@
 pub mod diagnostics;
 pub mod exact;
 pub mod linear;
+pub mod loo;
 mod model;
 pub mod optimal;
 
+pub use loo::LeaveOneOut;
 pub use model::{
     finish_times, makespan, BusParams, ParamError, SystemModel, ALL_MODELS,
 };

@@ -14,6 +14,7 @@
 //! Normalizing by `Σ α_i = 1` gives Algorithm 2.1 / 2.2. The computation is
 //! `O(m)` and allocation-order independent (Theorem 2.2).
 
+use crate::loo::LeaveOneOut;
 use crate::model::{makespan, BusParams, SystemModel};
 
 /// Optimal load fractions `α(b)` for the given model and parameters.
@@ -68,7 +69,24 @@ pub fn optimal_makespan(model: SystemModel, params: &BusParams) -> f64 {
 /// the reduced market (the processor that holds the load is whichever
 /// remains in the originator position). Returns `None` when only one
 /// processor exists (no reduced market).
+///
+/// Backed by the O(m) chain-splice solver ([`crate::loo::LeaveOneOut`]); a
+/// single call is O(m) like the naive re-solve, but computing *all* m terms
+/// of a payment vector through one [`crate::loo::LeaveOneOut`] is O(m)
+/// total. [`makespan_without_naive`] retains the full re-solve as the
+/// differential-test oracle.
 pub fn makespan_without(model: SystemModel, params: &BusParams, i: usize) -> Option<f64> {
+    LeaveOneOut::new(model, params.z(), params.w().to_vec()).makespan_without(i)
+}
+
+/// Naive leave-one-out makespan: rebuilds the reduced market and re-solves
+/// it from scratch (Θ(m) per call). Kept as the independent oracle that
+/// differential tests pit against [`makespan_without`].
+pub fn makespan_without_naive(
+    model: SystemModel,
+    params: &BusParams,
+    i: usize,
+) -> Option<f64> {
     let reduced = params.without(i)?;
     Some(optimal_makespan(model, &reduced))
 }

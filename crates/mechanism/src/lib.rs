@@ -58,4 +58,7 @@ pub mod exact;
 mod market;
 pub mod validate;
 
-pub use market::{compute_payments, AgentSpec, Market, MarketError, MechanismOutcome, Payment};
+pub use market::{
+    compute_payments, compute_payments_naive, AgentSpec, Market, MarketError, MechanismOutcome,
+    Payment,
+};

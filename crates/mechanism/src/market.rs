@@ -1,6 +1,6 @@
 //! The DLS-BL market: agents, allocation, payments, utilities.
 
-use dls_dlt::{makespan, optimal, BusParams, ParamError, SystemModel};
+use dls_dlt::{finish_times, makespan, optimal, BusParams, LeaveOneOut, ParamError, SystemModel};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -201,6 +201,15 @@ impl Market {
 /// observed execution rates. Exposed separately so the distributed protocol
 /// (every processor recomputes `Q` in the Computing Payments phase) can call
 /// the *identical* function the trusted mechanism would.
+///
+/// O(m) total for the whole vector: the first bonus terms come from one
+/// shared [`LeaveOneOut`] chain, and the second terms exploit that the
+/// mixed schedule `(b_{-i}, w̃_i)` differs from the all-bids schedule in
+/// exactly one finish time — `T_i` shifts by `α_i·(w̃_i − b_i)` while every
+/// `T_j`, `j ≠ i`, is untouched — so precomputed prefix/suffix maxima of
+/// the base finish times answer each makespan in O(1). The pre-optimization
+/// Θ(m²) version survives as [`compute_payments_naive`], the oracle the
+/// differential tests compare against.
 pub fn compute_payments(
     model: SystemModel,
     bid_params: &BusParams,
@@ -210,6 +219,19 @@ pub fn compute_payments(
     let m = bid_params.m();
     assert_eq!(alloc.len(), m);
     assert_eq!(observed.len(), m);
+    let w = bid_params.w();
+    let loo = LeaveOneOut::new(model, bid_params.z(), w.to_vec());
+    // Finish times of the all-bids schedule under the given allocation.
+    let base = finish_times(model, bid_params, alloc);
+    // prefix_max[i] = max(base[..=i]); suffix_max[i] = max(base[i..]).
+    let mut prefix_max = base.clone();
+    for i in 1..m {
+        prefix_max[i] = prefix_max[i].max(prefix_max[i - 1]);
+    }
+    let mut suffix_max = base.clone();
+    for i in (0..m.saturating_sub(1)).rev() {
+        suffix_max[i] = suffix_max[i].max(suffix_max[i + 1]);
+    }
     (0..m)
         .map(|i| {
             let compensation = alloc[i] * observed[i];
@@ -221,10 +243,43 @@ pub fn compute_payments(
             // absent market = +∞ conceptually; practically the mechanism is
             // only run with m ≥ 2 (the protocol requires peers), so we fall
             // back to the agent's own bid time to keep the math finite.
-            let t_without = optimal::makespan_without(model, bid_params, i)
-                .unwrap_or(alloc[i] * bid_params.w()[i]);
+            let t_without = loo.makespan_without(i).unwrap_or(alloc[i] * w[i]);
             // Second term: the realized schedule, others at their bids, P_i
-            // at its observed speed.
+            // at its observed speed — max of the other finish times and P_i's
+            // shifted one.
+            let mut t_actual = base[i] + alloc[i] * (observed[i] - w[i]);
+            if i > 0 {
+                t_actual = t_actual.max(prefix_max[i - 1]);
+            }
+            if i + 1 < m {
+                t_actual = t_actual.max(suffix_max[i + 1]);
+            }
+            Payment {
+                compensation,
+                bonus: t_without - t_actual,
+            }
+        })
+        .collect()
+}
+
+/// The pre-optimization payment computation: per-agent reduced-market
+/// re-solve plus a full mixed-schedule makespan, Θ(m) each and Θ(m²) for the
+/// vector. Retained as the independent differential-test oracle for
+/// [`compute_payments`].
+pub fn compute_payments_naive(
+    model: SystemModel,
+    bid_params: &BusParams,
+    alloc: &[f64],
+    observed: &[f64],
+) -> Vec<Payment> {
+    let m = bid_params.m();
+    assert_eq!(alloc.len(), m);
+    assert_eq!(observed.len(), m);
+    (0..m)
+        .map(|i| {
+            let compensation = alloc[i] * observed[i];
+            let t_without = optimal::makespan_without_naive(model, bid_params, i)
+                .unwrap_or(alloc[i] * bid_params.w()[i]);
             let mixed = bid_params.with_rate(i, observed[i]);
             let t_actual = makespan(model, &mixed, alloc);
             Payment {
@@ -460,6 +515,31 @@ mod tests {
         let manual: f64 = out.payments.iter().map(Payment::total).sum();
         assert!((out.user_bill() - manual).abs() < 1e-12);
         assert!(out.user_bill() > 0.0);
+    }
+
+    #[test]
+    fn fast_payments_match_naive_oracle() {
+        for model in ALL_MODELS {
+            let market = Market::new(
+                model,
+                0.2,
+                vec![
+                    AgentSpec::misreporting(1.0, 1.5),
+                    AgentSpec::truthful(2.0),
+                    AgentSpec::slacking(1.5, 2.0),
+                    AgentSpec::truthful(3.0),
+                ],
+            )
+            .unwrap();
+            let bid_params = BusParams::new(market.z(), market.bids()).unwrap();
+            let alloc = optimal::fractions(model, &bid_params);
+            let fast = compute_payments(model, &bid_params, &alloc, &market.observed());
+            let naive = compute_payments_naive(model, &bid_params, &alloc, &market.observed());
+            for (f, n) in fast.iter().zip(&naive) {
+                assert!((f.compensation - n.compensation).abs() < 1e-12, "{model}");
+                assert!((f.bonus - n.bonus).abs() < 1e-12, "{model}: {f:?} vs {n:?}");
+            }
+        }
     }
 
     #[test]

@@ -14,9 +14,23 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E> Entry<E> {
+    /// The single ordering key: `(total_cmp on time, sequence number)`.
+    ///
+    /// Both `PartialEq` and `Ord` derive from this, so equality and ordering
+    /// can never disagree — with bitwise `==` on `at`, two entries at `0.0`
+    /// and `-0.0` would compare unequal yet sort as ties, breaking the
+    /// `Ord`/`Eq` consistency contract `BinaryHeap` relies on.
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key_cmp(other) == Ordering::Equal
     }
 }
 
@@ -31,10 +45,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the earliest (time, seq).
-        other
-            .at
-            .total_cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key_cmp(self)
     }
 }
 
@@ -198,5 +209,30 @@ mod tests {
         q.schedule(1.0, ());
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    /// `Entry` equality and ordering must agree on every float, including
+    /// the `0.0`/`-0.0` pair where `==` and `total_cmp` diverge.
+    #[test]
+    fn entry_eq_consistent_with_ord() {
+        let entry = |at, seq| Entry { at, seq, event: () };
+        let cases = [
+            (entry(0.0, 0), entry(-0.0, 0)),  // total_cmp: -0.0 < 0.0
+            (entry(1.0, 0), entry(1.0, 0)),   // identical
+            (entry(1.0, 0), entry(1.0, 1)),   // FIFO tie-break
+            (entry(1.0, 2), entry(2.0, 1)),   // time dominates seq
+        ];
+        for (a, b) in &cases {
+            assert_eq!(
+                a == b,
+                a.cmp(b) == Ordering::Equal,
+                "eq/ord disagree at ({}, {}) vs ({}, {})",
+                a.at, a.seq, b.at, b.seq
+            );
+            assert_eq!(a.cmp(b), b.cmp(a).reverse());
+        }
+        // -0.0 sorts after 0.0 under the inverted (min-heap) order and the
+        // two are distinguishable — no silent tie.
+        assert!(entry(0.0, 0) != entry(-0.0, 0));
     }
 }

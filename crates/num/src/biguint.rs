@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, BitAnd, Div, Mul, Rem, Shl, Shr, Sub};
+use std::ops::{Add, AddAssign, BitAnd, Div, Mul, Rem, Shl, Shr, Sub};
 
 /// Number of decimal digits that fit a single `u32` chunk when parsing and
 /// printing (10^9 < 2^32).
@@ -220,7 +220,7 @@ impl BigUint {
                 radix
             };
             acc = acc.mul_small(radix);
-            acc = &acc + &BigUint::from(chunk);
+            acc += &BigUint::from(chunk);
             idx += take;
         }
         Ok(acc)
@@ -501,16 +501,15 @@ fn mul_karatsuba(a: &[u32], b: &[u32]) -> BigUint {
     let half = a.len().max(b.len()) / 2;
     let (a0, a1) = split_at_clamped(a, half);
     let (b0, b1) = split_at_clamped(b, half);
+    // Low halves can end in zero limbs after the split; trim the borrowed
+    // slices instead of allocating normalized copies. High halves inherit
+    // the parent's non-zero top limb and need no trim.
+    let (a0, b0) = (trim_zeros(a0), trim_zeros(b0));
 
-    let a0 = BigUint::from_limbs_le(a0.to_vec());
-    let a1 = BigUint::from_limbs_le(a1.to_vec());
-    let b0 = BigUint::from_limbs_le(b0.to_vec());
-    let b1 = BigUint::from_limbs_le(b1.to_vec());
-
-    let z0 = mul_karatsuba(a0.limbs(), b0.limbs());
-    let z2 = mul_karatsuba(a1.limbs(), b1.limbs());
-    let sa = &a0 + &a1;
-    let sb = &b0 + &b1;
+    let z0 = mul_karatsuba(a0, b0);
+    let z2 = mul_karatsuba(a1, b1);
+    let sa = add_limbs(a0, a1);
+    let sb = add_limbs(b0, b1);
     let z1_full = mul_karatsuba(sa.limbs(), sb.limbs());
     // z1 = (a0+a1)(b0+b1) - z0 - z2  >= 0
     let z1 = z1_full
@@ -529,17 +528,27 @@ fn split_at_clamped(v: &[u32], at: usize) -> (&[u32], &[u32]) {
     }
 }
 
+/// Drops trailing zero limbs from a borrowed slice (the slice analogue of
+/// [`BigUint::normalize`]).
+fn trim_zeros(v: &[u32]) -> &[u32] {
+    let mut n = v.len();
+    while n > 0 && v[n - 1] == 0 {
+        n -= 1;
+    }
+    &v[..n]
+}
+
 /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D: multi-limb division.
 fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
     // Normalize: shift so the divisor's top limb has its high bit set.
     let shift = den.limbs.last().expect("divisor >= 2 limbs").leading_zeros() as usize;
-    let u = num << shift; // dividend
     let v = den << shift; // divisor
     let n = v.limbs.len();
-    let m = u.limbs.len() - n;
 
-    // Working copy of the dividend with one extra high limb.
-    let mut us: Vec<u32> = u.limbs.clone();
+    // Shifted dividend, consumed directly as the working buffer (one extra
+    // high limb appended) — the shift already allocated a fresh vector.
+    let mut us: Vec<u32> = (num << shift).limbs;
+    let m = us.len() - n;
     us.push(0);
     let vs: &[u32] = &v.limbs;
     let vn1 = vs[n - 1] as u64;
@@ -613,8 +622,32 @@ impl Add for &BigUint {
 
 impl Add for BigUint {
     type Output = BigUint;
-    fn add(self, rhs: BigUint) -> BigUint {
-        &self + &rhs
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self += &rhs;
+        self
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    /// In-place addition reusing `self`'s limb buffer — no allocation unless
+    /// the result needs an extra limb beyond the current capacity.
+    fn add_assign(&mut self, rhs: &BigUint) {
+        if self.limbs.len() < rhs.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let mut carry: u64 = 0;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            if carry == 0 && i >= rhs.limbs.len() {
+                return; // no addend limbs left and nothing to propagate
+            }
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let s = *limb as u64 + r as u64 + carry;
+            *limb = s as u32;
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
     }
 }
 
@@ -852,6 +885,28 @@ mod tests {
         let s = &a + &b;
         assert_eq!(s.to_string(), "18446744073709551616");
         assert_eq!(s.bits(), 65);
+    }
+
+    #[test]
+    fn add_assign_matches_operator() {
+        let cases = [
+            ("0", "0"),
+            ("0", "123456789012345678901234567890"),
+            ("123456789012345678901234567890", "0"),
+            ("18446744073709551615", "1"), // carry ripples past rhs
+            ("4294967295", "4294967295"),  // wrap at the top limb
+            (
+                "123456789012345678901234567890",
+                "98765432109876543210",
+            ),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (big(a), big(b));
+            let mut s = a.clone();
+            s += &b;
+            assert_eq!(s, &a + &b, "{a} += {b}");
+            assert!(s.limbs.last() != Some(&0), "normalized after {a} += {b}");
+        }
     }
 
     #[test]

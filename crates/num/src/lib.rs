@@ -40,7 +40,7 @@ mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::{BigUint, ParseBigUintError};
-pub use rational::{Rational, RationalError};
+pub use rational::{Rational, RationalError, RationalProduct};
 
 /// Greatest common divisor of two unsigned big integers.
 ///

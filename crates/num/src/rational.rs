@@ -10,7 +10,7 @@ use crate::biguint::BigUint;
 use crate::gcd;
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// Error constructing a [`Rational`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +161,16 @@ impl Rational {
         }
     }
 
+    /// Operand size in bits: the larger of the numerator and denominator
+    /// bit-lengths. The cost driver of every rational operation, reported by
+    /// the payment benchmark harness as "peak rational bit-length".
+    pub fn bit_complexity(&self) -> usize {
+        self.num
+            .magnitude()
+            .bits()
+            .max(self.den.magnitude().bits())
+    }
+
     /// Lossy conversion to `f64`.
     ///
     /// Accurate to within one ULP for the magnitudes used in this workspace
@@ -240,48 +250,140 @@ impl From<i64> for Rational {
     }
 }
 
+impl Rational {
+    /// In-place `self = self ± rhs` with the operands-first GCD strategy
+    /// (Knuth TAOCP 4.5.1): cancel `g = gcd(den, rhs.den)` *before*
+    /// cross-multiplying, so intermediates stay near the size of the result
+    /// and the final normalization GCD runs on `g`, not on the full
+    /// denominator product. `negate` subtracts instead of adding.
+    fn add_assign_signed(&mut self, rhs: &Rational, negate: bool) {
+        let cross = |a: &BigInt, b: &BigInt| -> BigInt { if negate { a - b } else { a + b } };
+        let g = gcd(self.den.magnitude(), rhs.den.magnitude());
+        if g.is_one() {
+            // Coprime denominators: (a·d ± c·b)/(b·d) is already in lowest
+            // terms — no trailing reduction at all.
+            self.num = cross(&(&self.num * &rhs.den), &(&rhs.num * &self.den));
+            self.den = &self.den * &rhs.den;
+        } else {
+            let g = BigInt::from(g);
+            let b_r = &self.den / &g; // b/g
+            let d_r = &rhs.den / &g; // d/g
+            let num = cross(&(&self.num * &d_r), &(&rhs.num * &b_r));
+            // The only factor the numerator can still share with the
+            // denominator (b/g)·d is a divisor of g.
+            let g2 = gcd(num.magnitude(), g.magnitude());
+            let den = &b_r * &rhs.den;
+            if g2.is_one() {
+                self.num = num;
+                self.den = den;
+            } else {
+                let g2 = BigInt::from(g2);
+                self.num = &num / &g2;
+                self.den = &den / &g2;
+            }
+        }
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+        }
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        self.add_assign_signed(rhs, false);
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        self.add_assign_signed(rhs, true);
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        // Cross-cancellation: reduce gcd(a, d) and gcd(c, b) before
+        // multiplying. Both inputs are in lowest terms, so the result is
+        // too — the expensive GCD of the full products never happens.
+        let g1 = gcd(self.num.magnitude(), rhs.den.magnitude());
+        let g2 = gcd(rhs.num.magnitude(), self.den.magnitude());
+        let (a, d) = if g1.is_one() {
+            (self.num.clone(), rhs.den.clone())
+        } else {
+            let g1 = BigInt::from(g1);
+            (&self.num / &g1, &rhs.den / &g1)
+        };
+        let (c, b) = if g2.is_one() {
+            (rhs.num.clone(), self.den.clone())
+        } else {
+            let g2 = BigInt::from(g2);
+            (&rhs.num / &g2, &self.den / &g2)
+        };
+        self.num = &a * &c;
+        self.den = &b * &d;
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+        }
+    }
+}
+
+impl DivAssign<&Rational> for Rational {
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_op_assign_impl)] // division IS multiplication by the reciprocal
+    fn div_assign(&mut self, rhs: &Rational) {
+        *self *= &rhs.recip();
+    }
+}
+
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
-        let num = &(&self.num * &rhs.den) + &(&rhs.num * &self.den);
-        let den = &self.den * &rhs.den;
-        Rational::new(num, den).expect("product of non-zero denominators")
+        let mut out = self.clone();
+        out += rhs;
+        out
     }
 }
 
 impl Add for Rational {
     type Output = Rational;
-    fn add(self, rhs: Rational) -> Rational {
-        &self + &rhs
+    fn add(mut self, rhs: Rational) -> Rational {
+        self += &rhs;
+        self
     }
 }
 
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
-        self + &(-rhs)
+        let mut out = self.clone();
+        out -= rhs;
+        out
     }
 }
 
 impl Sub for Rational {
     type Output = Rational;
-    fn sub(self, rhs: Rational) -> Rational {
-        &self - &rhs
+    fn sub(mut self, rhs: Rational) -> Rational {
+        self -= &rhs;
+        self
     }
 }
 
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
-        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
-            .expect("product of non-zero denominators")
+        let mut out = self.clone();
+        out *= rhs;
+        out
     }
 }
 
 impl Mul for Rational {
     type Output = Rational;
-    fn mul(self, rhs: Rational) -> Rational {
-        &self * &rhs
+    fn mul(mut self, rhs: Rational) -> Rational {
+        self *= &rhs;
+        self
     }
 }
 
@@ -289,16 +391,81 @@ impl Div for &Rational {
     type Output = Rational;
     /// # Panics
     /// Panics if `rhs` is zero.
-    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
     fn div(self, rhs: &Rational) -> Rational {
-        self * &rhs.recip()
+        let mut out = self.clone();
+        out /= rhs;
+        out
     }
 }
 
 impl Div for Rational {
     type Output = Rational;
-    fn div(self, rhs: Rational) -> Rational {
-        &self / &rhs
+    fn div(mut self, rhs: Rational) -> Rational {
+        self /= &rhs;
+        self
+    }
+}
+
+/// Product accumulator that **defers GCD normalization across a chain**.
+///
+/// Folding `Πᵢ rᵢ` through [`Mul`] renormalizes after every factor; when the
+/// chain's factors barely cancel (the common case for the allocation chains
+/// `u_{j+1} = u_j·k_j`), those intermediate GCDs are pure overhead. The
+/// accumulator multiplies raw numerators and denominators and reduces once,
+/// at extraction.
+///
+/// ```
+/// use dls_num::{Rational, RationalProduct};
+///
+/// let factors = [Rational::from_ratio(2, 3), Rational::from_ratio(9, 4)];
+/// let mut chain = RationalProduct::new();
+/// for f in &factors {
+///     chain.mul(f);
+/// }
+/// assert_eq!(chain.into_rational(), Rational::from_ratio(3, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RationalProduct {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl RationalProduct {
+    /// Starts a chain at `1`.
+    pub fn new() -> Self {
+        RationalProduct {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Multiplies the accumulated product by `factor` without normalizing.
+    pub fn mul(&mut self, factor: &Rational) {
+        self.num = &self.num * factor.numer();
+        self.den = &self.den * factor.denom();
+    }
+
+    /// Extracts the product, normalizing once (single GCD for the chain).
+    pub fn into_rational(self) -> Rational {
+        // The denominator is a product of strictly positive denominators,
+        // so it is never zero and direct construction + reduce is safe.
+        let mut r = Rational {
+            num: self.num,
+            den: self.den,
+        };
+        r.reduce();
+        r
+    }
+
+    /// Normalized snapshot of the running product without ending the chain.
+    pub fn to_rational(&self) -> Rational {
+        self.clone().into_rational()
+    }
+}
+
+impl Default for RationalProduct {
+    fn default() -> Self {
+        RationalProduct::new()
     }
 }
 
@@ -442,5 +609,92 @@ mod tests {
         let one = Rational::one();
         let sum = &(&(&third + &third) + &third) - &one;
         assert!(sum.is_zero());
+    }
+
+    /// The gcd-lean assign kernels must produce reduced results on both the
+    /// coprime fast path and the shared-factor slow path, across signs.
+    #[test]
+    fn assign_kernels_stay_reduced() {
+        let cases = [
+            (rat(1, 2), rat(1, 3)),   // coprime denominators
+            (rat(1, 6), rat(1, 10)),  // shared factor 2, g2 > 1 branch
+            (rat(5, 6), rat(1, 6)),   // equal denominators
+            (rat(-3, 4), rat(3, 4)),  // sums to zero
+            (rat(-7, 12), rat(5, 18)),
+            (rat(0, 1), rat(4, 9)),   // zero operand
+        ];
+        for (a, b) in &cases {
+            for (x, y) in [(a, b), (b, a)] {
+                let by_new = |num: BigInt, den: BigInt| Rational::new(num, den).unwrap();
+                let want_add = by_new(
+                    &(x.numer() * y.denom()) + &(y.numer() * x.denom()),
+                    x.denom() * y.denom(),
+                );
+                let want_sub = by_new(
+                    &(x.numer() * y.denom()) - &(y.numer() * x.denom()),
+                    x.denom() * y.denom(),
+                );
+                let want_mul = by_new(x.numer() * y.numer(), x.denom() * y.denom());
+
+                let mut s = x.clone();
+                s += y;
+                assert_eq!(s, want_add, "{x} + {y}");
+                assert!(s.denom().is_positive());
+
+                let mut s = x.clone();
+                s -= y;
+                assert_eq!(s, want_sub, "{x} - {y}");
+
+                let mut s = x.clone();
+                s *= y;
+                assert_eq!(s, want_mul, "{x} * {y}");
+
+                if !y.is_zero() {
+                    let mut s = x.clone();
+                    s /= y;
+                    assert_eq!(s, want_mul_div(x, y), "{x} / {y}");
+                }
+            }
+        }
+
+        fn want_mul_div(x: &Rational, y: &Rational) -> Rational {
+            Rational::new(x.numer() * y.denom(), x.denom() * y.numer()).unwrap()
+        }
+    }
+
+    #[test]
+    fn assign_zero_result_normalizes_denominator() {
+        let mut s = rat(3, 7);
+        s -= &rat(3, 7);
+        assert!(s.is_zero());
+        assert_eq!(s.denom(), &BigInt::one());
+
+        let mut p = rat(3, 7);
+        p *= &Rational::zero();
+        assert!(p.is_zero());
+        assert_eq!(p.denom(), &BigInt::one());
+    }
+
+    #[test]
+    fn product_accumulator_matches_fold() {
+        let factors = [rat(2, 3), rat(9, 4), rat(-5, 7), rat(14, 15), rat(1, 2)];
+        let folded = factors
+            .iter()
+            .fold(Rational::one(), |acc, f| &acc * f);
+        let mut chain = RationalProduct::new();
+        for f in &factors {
+            chain.mul(f);
+        }
+        assert_eq!(chain.to_rational(), folded);
+        assert_eq!(chain.into_rational(), folded);
+        assert_eq!(RationalProduct::default().into_rational(), Rational::one());
+    }
+
+    #[test]
+    fn bit_complexity_tracks_operand_size() {
+        assert_eq!(Rational::zero().bit_complexity(), 1);
+        assert_eq!(rat(1, 1).bit_complexity(), 1);
+        assert_eq!(rat(255, 256).bit_complexity(), 9);
+        assert_eq!(rat(-1024, 3).bit_complexity(), 11);
     }
 }

@@ -44,7 +44,7 @@ proptest! {
                 &Rational::from_f64(z).unwrap(),
                 &bids,
                 &bids,
-            );
+            ).unwrap();
             for (f, e) in market.payments.iter().zip(&exact) {
                 prop_assert!(
                     (f.compensation - e.compensation.to_f64()).abs() < 1e-10,

@@ -1,0 +1,184 @@
+//! Differential tests for the O(m) leave-one-out payment pipeline: the fast
+//! solvers must agree with the retained Θ(m²) oracles — bit-exactly over
+//! [`Rational`], within float tolerance over `f64` — on seeded randomized
+//! markets across all three bus models, including the degenerate shapes
+//! (m = 1, m = 2, identical rates).
+//!
+//! Workloads come from `dls_bench::workloads::quantized_rates`: dyadic
+//! rates, so the `f64` inputs convert to rationals without rounding and the
+//! two domains see literally the same market.
+
+use dls::dlt::{optimal, BusParams, LeaveOneOut, ALL_MODELS};
+use dls::mechanism::exact::{compute_payments_exact, compute_payments_exact_naive};
+use dls::mechanism::{compute_payments, compute_payments_naive};
+use dls::num::Rational;
+use dls_bench::workloads::quantized_rates;
+
+fn rats(xs: &[f64]) -> Vec<Rational> {
+    xs.iter().map(|&x| Rational::from_f64(x).unwrap()).collect()
+}
+
+/// Observed rates: every fourth agent slacks by one quantum.
+fn observe(bids: &[f64]) -> Vec<f64> {
+    bids.iter()
+        .enumerate()
+        .map(|(i, &w)| if i % 4 == 1 { w + 1.0 / 64.0 } else { w })
+        .collect()
+}
+
+const Z: f64 = 0.1875; // 3/16, dyadic
+
+#[test]
+fn loo_f64_matches_naive_resolve() {
+    for model in ALL_MODELS {
+        for (seed, m) in [(1u64, 2usize), (2, 3), (3, 4), (4, 7), (5, 16), (6, 48)] {
+            let w = quantized_rates(m, 1.0, 8.0, seed, 64);
+            let params = BusParams::new(Z, w.clone()).unwrap();
+            let loo = LeaveOneOut::new(model, Z, w);
+            for i in 0..m {
+                let fast = loo.makespan_without(i).unwrap();
+                let naive = optimal::makespan_without_naive(model, &params, i).unwrap();
+                assert!(
+                    (fast - naive).abs() <= 1e-12 * naive.abs(),
+                    "{model} m={m} seed={seed} i={i}: {fast} vs {naive}"
+                );
+            }
+        }
+        // m = 128, sampled removals (the naive oracle is Θ(m) per query).
+        let m = 128;
+        let w = quantized_rates(m, 1.0, 8.0, 7, 64);
+        let params = BusParams::new(Z, w.clone()).unwrap();
+        let loo = LeaveOneOut::new(model, Z, w);
+        for i in [0usize, 1, 63, 126, 127] {
+            let fast = loo.makespan_without(i).unwrap();
+            let naive = optimal::makespan_without_naive(model, &params, i).unwrap();
+            assert!(
+                (fast - naive).abs() <= 1e-12 * naive.abs(),
+                "{model} m={m} i={i}: {fast} vs {naive}"
+            );
+        }
+    }
+}
+
+#[test]
+fn loo_rational_matches_naive_resolve_exactly() {
+    use dls::dlt::exact::{self, ExactParams};
+    let z = Rational::from_f64(Z).unwrap();
+    for model in ALL_MODELS {
+        for (seed, m) in [(11u64, 2usize), (12, 3), (13, 5), (14, 8), (15, 32)] {
+            let w = rats(&quantized_rates(m, 1.0, 8.0, seed, 64));
+            let loo = LeaveOneOut::new(model, z.clone(), w.clone());
+            for i in 0..m {
+                let mut reduced = w.clone();
+                reduced.remove(i);
+                let rp = ExactParams::new(z.clone(), reduced);
+                let naive = exact::optimal_makespan(model, &rp);
+                assert_eq!(
+                    loo.makespan_without(i).unwrap(),
+                    naive,
+                    "{model} m={m} seed={seed} i={i}"
+                );
+            }
+        }
+        // m = 128, sampled removals: the equality must stay bit-exact even
+        // when chain numerators/denominators run to thousands of bits.
+        let m = 128;
+        let w = rats(&quantized_rates(m, 1.0, 8.0, 16, 64));
+        let loo = LeaveOneOut::new(model, z.clone(), w.clone());
+        for i in [0usize, 1, 63, 126, 127] {
+            let mut reduced = w.clone();
+            reduced.remove(i);
+            let rp = ExactParams::new(z.clone(), reduced);
+            assert_eq!(
+                loo.makespan_without(i).unwrap(),
+                exact::optimal_makespan(model, &rp),
+                "{model} m={m} i={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn payments_f64_fast_matches_naive() {
+    for model in ALL_MODELS {
+        for (seed, m) in [(21u64, 2usize), (22, 3), (23, 6), (24, 17), (25, 64)] {
+            let bids = quantized_rates(m, 1.0, 8.0, seed, 64);
+            let observed = observe(&bids);
+            let params = BusParams::new(Z, bids).unwrap();
+            let alloc = optimal::fractions(model, &params);
+            let fast = compute_payments(model, &params, &alloc, &observed);
+            let naive = compute_payments_naive(model, &params, &alloc, &observed);
+            for (i, (f, n)) in fast.iter().zip(&naive).enumerate() {
+                assert!(
+                    (f.compensation - n.compensation).abs() <= 1e-12 * n.compensation.abs(),
+                    "{model} m={m} i={i} compensation"
+                );
+                assert!(
+                    (f.bonus - n.bonus).abs() <= 1e-12 * (1.0 + n.bonus.abs()),
+                    "{model} m={m} i={i} bonus: {} vs {}",
+                    f.bonus,
+                    n.bonus
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn payments_exact_fast_matches_naive_bit_for_bit() {
+    let z = Rational::from_f64(Z).unwrap();
+    for model in ALL_MODELS {
+        for (seed, m) in [(31u64, 1usize), (32, 2), (33, 3), (34, 9), (35, 24)] {
+            let bids_f = quantized_rates(m, 1.0, 8.0, seed, 64);
+            let (bids, observed) = (rats(&bids_f), rats(&observe(&bids_f)));
+            let fast = compute_payments_exact(model, &z, &bids, &observed).unwrap();
+            let naive = compute_payments_exact_naive(model, &z, &bids, &observed).unwrap();
+            assert_eq!(fast, naive, "{model} m={m} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_markets_agree() {
+    let z = Rational::from_f64(Z).unwrap();
+    for model in ALL_MODELS {
+        // Single-agent market: both solvers fall back to the solo term.
+        let solo = rats(&[2.5]);
+        assert_eq!(
+            compute_payments_exact(model, &z, &solo, &solo).unwrap(),
+            compute_payments_exact_naive(model, &z, &solo, &solo).unwrap(),
+            "{model} m=1"
+        );
+
+        // Two agents, one slacking.
+        let bids = rats(&[2.0, 3.0]);
+        let observed = rats(&[2.0, 3.25]);
+        assert_eq!(
+            compute_payments_exact(model, &z, &bids, &observed).unwrap(),
+            compute_payments_exact_naive(model, &z, &bids, &observed).unwrap(),
+            "{model} m=2"
+        );
+
+        // Identical rates: ties everywhere — prefix/suffix maxima and the
+        // chain splice must still agree with the oracle exactly.
+        let same_f = vec![2.0; 12];
+        let params = BusParams::new(Z, same_f.clone()).unwrap();
+        let alloc = optimal::fractions(model, &params);
+        let observed_f = observe(&same_f);
+        let fast = compute_payments(model, &params, &alloc, &observed_f);
+        let naive = compute_payments_naive(model, &params, &alloc, &observed_f);
+        for (i, (f, n)) in fast.iter().zip(&naive).enumerate() {
+            assert!(
+                (f.bonus - n.bonus).abs() <= 1e-12,
+                "{model} identical rates i={i}"
+            );
+        }
+        let same = rats(&same_f);
+        let observed = rats(&observed_f);
+        assert_eq!(
+            compute_payments_exact(model, &z, &same, &observed).unwrap(),
+            compute_payments_exact_naive(model, &z, &same, &observed).unwrap(),
+            "{model} identical rates exact"
+        );
+    }
+}

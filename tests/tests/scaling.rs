@@ -1,9 +1,11 @@
-//! Scale and reproducibility smoke tests: the protocol at larger m, and
-//! bit-exact replay across models and seeds.
+//! Scale and reproducibility smoke tests: the protocol at larger m,
+//! bit-exact replay across models and seeds, the exact payment solver at
+//! benchmark scale, and the benchmark JSON schema.
 
 use dls::protocol::config::{Behavior, ProcessorConfig, SessionConfig};
 use dls::protocol::runtime::run_session;
 use dls::{SessionStatus, SystemModel};
+use dls_bench::payments::{render_json, run_sweep, workload, SweepConfig, SCHEMA};
 
 fn rates(m: usize) -> Vec<f64> {
     (0..m).map(|i| 1.0 + (i % 5) as f64 * 0.4).collect()
@@ -110,5 +112,135 @@ fn different_seeds_change_keys_not_economics() {
     for (x, y) in a.processors.iter().zip(&b.processors) {
         assert_eq!(x.utility, y.utility);
         assert_eq!(x.blocks_granted, y.blocks_granted);
+    }
+}
+
+/// The O(m) exact payment path must stay tractable at benchmark scale.
+/// m = 256 exact payments per model, with a wall-clock budget generous
+/// enough for debug builds and loaded CI machines — the point is to catch
+/// an accidental return to Θ(m²) (which blows this budget by orders of
+/// magnitude), not to measure.
+#[test]
+fn exact_payments_complete_at_m_256() {
+    use dls::mechanism::exact::compute_payments_exact;
+    use dls::num::Rational;
+
+    let cfg = SweepConfig::full();
+    let start = std::time::Instant::now();
+    for model in dls::dlt::ALL_MODELS {
+        let (bids, observed) = workload(&cfg, 256);
+        let to_rat = |xs: &[f64]| -> Vec<Rational> {
+            xs.iter().map(|&x| Rational::from_f64(x).unwrap()).collect()
+        };
+        let payments = compute_payments_exact(
+            model,
+            &Rational::from_f64(cfg.z).unwrap(),
+            &to_rat(&bids),
+            &to_rat(&observed),
+        )
+        .unwrap();
+        assert_eq!(payments.len(), 256);
+        // Truthful non-slackers must not lose (Theorem 3.2, exactly). The
+        // NCP originators are exempt: removing the head processor promotes
+        // its successor into the free-computation originator slot, so the
+        // reduced bus can be *faster* and the originator's first bonus term
+        // smaller than its second (see `removing_nfe_originator_can_speed_up`
+        // in dls-dlt; the FE analogue is symmetric).
+        let originator = |i: usize| match model {
+            SystemModel::Cp => false,
+            SystemModel::NcpFe => i == 0,
+            SystemModel::NcpNfe => i == 255,
+        };
+        for (i, p) in payments.iter().enumerate() {
+            if i % 7 != 3 && !originator(i) {
+                assert!(!p.bonus.is_negative(), "{model}: agent {i} bonus < 0");
+            }
+        }
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(120),
+        "exact m=256 blew the generous wall-clock budget: {:?}",
+        start.elapsed()
+    );
+}
+
+/// Minimal structural validation of a payments-benchmark JSON document
+/// against the schema documented in EXPERIMENTS.md. Hand-rolled on purpose:
+/// the workspace has no JSON dependency, and `render_json` emits one entry
+/// per line, so line-level checks are exact.
+fn validate_payments_json(json: &str) {
+    assert!(
+        json.contains(&format!("\"schema\": \"{SCHEMA}\"")),
+        "schema marker missing"
+    );
+    assert!(json.contains("\"config\":"), "config object missing");
+    let models = ["\"cp\"", "\"ncp-fe\"", "\"ncp-nfe\""];
+    let paths = [
+        "\"f64-fast\"",
+        "\"f64-naive\"",
+        "\"exact-fast\"",
+        "\"exact-naive\"",
+        "\"exact-parallel\"",
+    ];
+    let mut entries = 0;
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"model\"") {
+            continue;
+        }
+        entries += 1;
+        for key in [
+            "\"model\": ",
+            "\"m\": ",
+            "\"path\": ",
+            "\"ns_per_op\": ",
+            "\"peak_rational_bits\": ",
+            "\"extrapolated\": ",
+        ] {
+            assert!(line.contains(key), "entry missing {key}: {line}");
+        }
+        assert!(
+            models.iter().any(|m| line.contains(&format!("\"model\": {m}"))),
+            "unknown model in {line}"
+        );
+        assert!(
+            paths.iter().any(|p| line.contains(&format!("\"path\": {p}"))),
+            "unknown path in {line}"
+        );
+        assert!(
+            line.contains("\"extrapolated\": true") || line.contains("\"extrapolated\": false"),
+            "extrapolated not boolean in {line}"
+        );
+    }
+    assert!(entries > 0, "no entries found");
+    let opens = json.matches('{').count();
+    assert_eq!(opens, json.matches('}').count(), "unbalanced braces");
+}
+
+/// A quick sweep must emit a document matching the documented schema, and
+/// the committed `BENCH_payments.json` (when present) must still match it.
+#[test]
+fn bench_json_matches_documented_schema() {
+    let cfg = SweepConfig::quick();
+    let entries = run_sweep(&cfg);
+    // Every (model, path) combination the quick config asks for is present.
+    for model in ["cp", "ncp-fe", "ncp-nfe"] {
+        for path in ["f64-fast", "f64-naive", "exact-fast", "exact-naive"] {
+            assert!(
+                entries.iter().any(|e| e.model == model && e.path == path),
+                "missing {model}/{path}"
+            );
+        }
+    }
+    // Quick config extrapolates naive to m = 16.
+    assert!(entries
+        .iter()
+        .any(|e| e.path == "exact-naive" && e.m == 16 && e.extrapolated));
+    validate_payments_json(&render_json(&cfg, &entries));
+
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../BENCH_payments.json");
+    match std::fs::read_to_string(committed) {
+        Ok(json) => validate_payments_json(&json),
+        Err(_) => eprintln!("BENCH_payments.json not present; skipping committed-file check"),
     }
 }

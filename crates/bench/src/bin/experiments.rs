@@ -467,12 +467,12 @@ fn multiround() {
     for z in [0.2, 0.5, 1.0] {
         let p = BusParams::new(z, w.clone()).unwrap();
         print!("z = {z:<4} makespan by rounds:");
-        let t1 = simulate_multiround(&p, 1).makespan;
+        let t1 = simulate_multiround(&p, 1).expect("rounds >= 1").makespan;
         for r in [1usize, 2, 3, 4, 6, 8, 16] {
-            let t = simulate_multiround(&p, r).makespan;
+            let t = simulate_multiround(&p, r).expect("rounds >= 1").makespan;
             print!("  R{r}={t:.4}");
         }
-        let t16 = simulate_multiround(&p, 16).makespan;
+        let t16 = simulate_multiround(&p, 16).expect("rounds >= 1").makespan;
         println!("  (gain {:.1}%)", (1.0 - t16 / t1) * 100.0);
     }
     println!("   (gains grow with z — pipelining hides communication; diminishing in R)");

@@ -1,9 +1,12 @@
 //! Shared benchmark infrastructure: [`workloads`] hosts the deterministic
 //! rate generators used by the Criterion benches, the experiment harness,
 //! and the payments harness (`src/bin/payments.rs`); [`payments`] hosts the
-//! payment-solver sweep behind the committed `BENCH_payments.json`.
+//! payment-solver sweep behind the committed `BENCH_payments.json`;
+//! [`throughput`] hosts the auction-engine sweep behind the committed
+//! `BENCH_throughput.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod payments;
+pub mod throughput;
 pub mod workloads;

@@ -46,8 +46,10 @@ pub fn quantized_rates(m: usize, lo: f64, hi: f64, seed: u64, denom: u32) -> Vec
 }
 
 /// splitmix64 step (Steele, Lea & Flood 2014): the standard 64-bit mixer,
-/// stable by construction — no dependency can change it.
-fn splitmix64(state: &mut u64) -> u64 {
+/// stable by construction — no dependency can change it. Shared with the
+/// throughput sweep, which draws its bid-update positions from the same
+/// frozen stream.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e3779b97f4a7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);

@@ -55,23 +55,23 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CanonError>
 // Type tags. Every emitted value starts with one, which is what makes the
 // encoding unambiguous.
 mod tag {
-    pub const BOOL: u8 = 0x01;
-    pub const INT: u8 = 0x02; // i64, 8 bytes BE
-    pub const UINT: u8 = 0x03; // u64, 8 bytes BE
-    pub const U128: u8 = 0x04; // 16 bytes BE
-    pub const I128: u8 = 0x05;
-    pub const F64: u8 = 0x06; // IEEE-754 bits, BE
-    pub const BYTES: u8 = 0x07; // u64 length + raw
-    pub const STR: u8 = 0x08; // u64 length + UTF-8
-    pub const CHAR: u8 = 0x09;
-    pub const NONE: u8 = 0x0a;
-    pub const SOME: u8 = 0x0b;
-    pub const UNIT: u8 = 0x0c;
-    pub const SEQ: u8 = 0x0d; // u64 count, then elements
-    pub const TUPLE: u8 = 0x0e;
-    pub const STRUCT: u8 = 0x0f;
-    pub const VARIANT: u8 = 0x10; // u32 index, name, then payload
-    pub const END: u8 = 0x11; // terminates unknown-length sequences
+    pub(super) const BOOL: u8 = 0x01;
+    pub(super) const INT: u8 = 0x02; // i64, 8 bytes BE
+    pub(super) const UINT: u8 = 0x03; // u64, 8 bytes BE
+    pub(super) const U128: u8 = 0x04; // 16 bytes BE
+    pub(super) const I128: u8 = 0x05;
+    pub(super) const F64: u8 = 0x06; // IEEE-754 bits, BE
+    pub(super) const BYTES: u8 = 0x07; // u64 length + raw
+    pub(super) const STR: u8 = 0x08; // u64 length + UTF-8
+    pub(super) const CHAR: u8 = 0x09;
+    pub(super) const NONE: u8 = 0x0a;
+    pub(super) const SOME: u8 = 0x0b;
+    pub(super) const UNIT: u8 = 0x0c;
+    pub(super) const SEQ: u8 = 0x0d; // u64 count, then elements
+    pub(super) const TUPLE: u8 = 0x0e;
+    pub(super) const STRUCT: u8 = 0x0f;
+    pub(super) const VARIANT: u8 = 0x10; // u32 index, name, then payload
+    pub(super) const END: u8 = 0x11; // terminates unknown-length sequences
 }
 
 struct CanonSerializer {

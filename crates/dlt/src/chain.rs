@@ -1,0 +1,460 @@
+//! Persistent chain state for incremental re-solves — the auction engine's
+//! cache layer.
+//!
+//! [`crate::optimal::fractions`] and [`LeaveOneOut`](crate::LeaveOneOut)
+//! both rebuild the telescoped chain products from scratch on every call:
+//! `m − 1` divisions for the link factors `k_j = w_j/(z + w_{j+1})`, the
+//! dependent product chain `u_{j+1} = u_j·k_j`, and the prefix/suffix sums —
+//! plus one heap allocation per vector. In an auction, consecutive solves
+//! differ in a *single* bid: everything upstream of the changed position is
+//! unchanged, and the downstream suffix is a pure splice.
+//!
+//! [`ChainState`] keeps `k`, `u`, and the prefix sums alive between solves.
+//! [`ChainState::update_bid`] refreshes the (at most two) link factors that
+//! mention `w_i` — two divisions — and re-runs the product/prefix recursion
+//! only for `j ≥ max(i, 1)`. The suffix sums are only needed by the payment
+//! queries ([`ChainState::makespan_without`]), so they are rebuilt lazily
+//! behind a dirty flag; quote evaluation (`fractions` + makespan) never pays
+//! for them.
+//!
+//! ## Bit-exactness contract
+//!
+//! Every cached quantity is computed with the *same expressions in the same
+//! order* as the from-scratch solvers: `k = w_j/(z + w_{j+1})` then
+//! `u_{j+1} = u_j·k` (NCP-NFE last link `w_{m−2}/w_{m−1}`), prefix
+//! `p_j = p_{j−1} + u_j`, suffix `s_j = s_{j+1} + u_j`. IEEE-754 operations
+//! are deterministic, so an incrementally updated [`ChainState`] yields
+//! results **bit-identical** to [`ChainState::new`] on the final rates, to
+//! [`crate::optimal::fractions`], and to the
+//! [`LeaveOneOut`](crate::LeaveOneOut) splice queries. The
+//! `engine_differential` integration tests pin this with `f64::to_bits`
+//! comparisons across all three models.
+
+use crate::model::{BusParams, SystemModel};
+
+/// Cached chain products of one market: link factors, unnormalized
+/// fractions, prefix sums, and (lazily) suffix sums.
+///
+/// Construction is O(m); [`ChainState::update_bid`] is O(m − i) with two
+/// divisions; every query is allocation-free.
+#[derive(Debug, Clone)]
+pub struct ChainState {
+    model: SystemModel,
+    params: BusParams,
+    /// Link factors: `u[j+1] = u[j]·k[j]` (length `m − 1`). For NCP-NFE the
+    /// last entry is the front-end-free `w[m−2]/w[m−1]`.
+    k: Vec<f64>,
+    /// Unnormalized fractions, `u[0] = 1`.
+    u: Vec<f64>,
+    /// `prefix[j] = u[0] + … + u[j]`.
+    prefix: Vec<f64>,
+    /// `suffix[j] = u[j] + … + u[m−1]`; valid iff `!suffix_dirty`.
+    suffix: Vec<f64>,
+    suffix_dirty: bool,
+}
+
+impl ChainState {
+    /// Builds the chain state for `params` in O(m).
+    pub fn new(model: SystemModel, params: &BusParams) -> Self {
+        let m = params.m();
+        let mut state = ChainState {
+            model,
+            params: params.clone(),
+            k: Vec::with_capacity(m.saturating_sub(1)),
+            u: Vec::with_capacity(m),
+            prefix: Vec::with_capacity(m),
+            suffix: Vec::with_capacity(m),
+            suffix_dirty: true,
+        };
+        state.rebuild();
+        state
+    }
+
+    /// The system model the chain was built for.
+    pub fn model(&self) -> SystemModel {
+        self.model
+    }
+
+    /// The current parameters (bids) behind the cached products.
+    pub fn params(&self) -> &BusParams {
+        &self.params
+    }
+
+    /// Number of processors `m`.
+    pub fn m(&self) -> usize {
+        self.params.m()
+    }
+
+    /// The link factor for link `j` (connecting `u[j]` to `u[j+1]`),
+    /// computed with exactly the expression the from-scratch solvers use.
+    fn link_value(&self, j: usize) -> f64 {
+        let w = self.params.w();
+        if self.model == SystemModel::NcpNfe && j == w.len() - 2 {
+            w[j] / w[j + 1]
+        } else {
+            w[j] / (self.params.z() + w[j + 1])
+        }
+    }
+
+    /// From-scratch recompute of every cached product into the retained
+    /// buffers (no allocation once the buffers have grown). This is the
+    /// reference path: [`ChainState::update_bid`] must agree with a
+    /// `rebuild` on the same rates bit-for-bit.
+    pub fn rebuild(&mut self) {
+        let m = self.params.m();
+        self.k.clear();
+        self.u.clear();
+        self.prefix.clear();
+        self.u.push(1.0);
+        self.prefix.push(1.0);
+        for j in 0..m - 1 {
+            let k = self.link_value(j);
+            self.k.push(k);
+            let next = self.u[j] * k;
+            self.u.push(next);
+            let p = self.prefix[j] + next;
+            self.prefix.push(p);
+        }
+        self.suffix_dirty = true;
+    }
+
+    /// Replaces bid `i` and splices the cached products: refreshes the (at
+    /// most two) link factors mentioning `w[i]`, then re-runs the
+    /// product/prefix recursion for `j ≥ max(i, 1)` only. Suffix sums are
+    /// invalidated, not recomputed (they are rebuilt lazily by the payment
+    /// queries).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds or the new rate is not finite and
+    /// positive (mirrors [`BusParams::with_rate`]; validated callers like
+    /// `dls-mechanism`'s `AuctionEngine` check first and return typed
+    /// errors).
+    pub fn update_bid(&mut self, i: usize, w_i: f64) {
+        let m = self.params.m();
+        assert!(i < m, "processor index {i} out of range for m = {m}");
+        self.params.set_rate(i, w_i);
+        if m == 1 {
+            // No links; u = prefix = [1.0] independent of the rate.
+            self.suffix_dirty = true;
+            return;
+        }
+        if i > 0 {
+            self.k[i - 1] = self.link_value(i - 1);
+        }
+        if i < m - 1 {
+            self.k[i] = self.link_value(i);
+        }
+        // u[0] = 1 never changes; everything from max(i, 1) is downstream
+        // of a refreshed link. Same recurrence, same op order as rebuild().
+        for j in i.max(1)..m {
+            let next = self.u[j - 1] * self.k[j - 1];
+            self.u[j] = next;
+            self.prefix[j] = self.prefix[j - 1] + next;
+        }
+        self.suffix_dirty = true;
+    }
+
+    /// [`ChainState::update_bid`] followed by a full [`ChainState::rebuild`]
+    /// — the from-scratch fallback path the incremental splice is
+    /// differential-tested (and benchmarked) against.
+    ///
+    /// # Panics
+    /// Same contract as [`ChainState::update_bid`].
+    pub fn update_bid_rebuild(&mut self, i: usize, w_i: f64) {
+        let m = self.params.m();
+        assert!(i < m, "processor index {i} out of range for m = {m}");
+        self.params.set_rate(i, w_i);
+        self.rebuild();
+    }
+
+    /// Replaces the whole rate vector and rebuilds — the batch layer's
+    /// market-reload path (retains every buffer, so reloading `n` markets
+    /// of equal size through one `ChainState` performs zero allocations
+    /// after the first).
+    ///
+    /// # Panics
+    /// Panics if `w.len() != self.m()` or any rate is invalid.
+    pub fn reload(&mut self, w: &[f64]) {
+        assert_eq!(w.len(), self.params.m(), "rate vector length mismatch");
+        for (i, &x) in w.iter().enumerate() {
+            self.params.set_rate(i, x);
+        }
+        self.rebuild();
+    }
+
+    /// Head cost `c(x)` of a multi-processor market whose first surviving
+    /// processor has rate `x` (same per-model split as the leave-one-out
+    /// solver).
+    fn head_cost(&self, x: f64) -> f64 {
+        match self.model {
+            SystemModel::NcpFe => x,
+            SystemModel::Cp | SystemModel::NcpNfe => self.params.z() + x,
+        }
+    }
+
+    /// Optimal makespan `T(α(b), b)` of the full market, O(1) from the
+    /// cached prefix sums. Bit-identical to
+    /// [`LeaveOneOut::optimal_makespan`](crate::LeaveOneOut::optimal_makespan).
+    pub fn optimal_makespan(&self) -> f64 {
+        let m = self.params.m();
+        let w = self.params.w();
+        if m == 1 {
+            return match self.model {
+                SystemModel::Cp => self.params.z() + w[0],
+                SystemModel::NcpFe | SystemModel::NcpNfe => w[0],
+            };
+        }
+        self.head_cost(w[0]) / self.prefix[m - 1]
+    }
+
+    /// Writes the optimal fractions `α(b)` into `out` (cleared first) with
+    /// no allocation beyond `out`'s capacity. Bit-identical to
+    /// [`crate::optimal::fractions`] on the same rates.
+    pub fn fractions_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.u);
+        let total = self.prefix[self.prefix.len() - 1];
+        for x in out.iter_mut() {
+            *x /= total;
+        }
+    }
+
+    /// Rebuilds the suffix sums if a bid update invalidated them.
+    fn ensure_suffix(&mut self) {
+        if !self.suffix_dirty {
+            return;
+        }
+        let m = self.u.len();
+        self.suffix.clear();
+        self.suffix.resize(m, 0.0);
+        for i in (0..m).rev() {
+            self.suffix[i] = if i + 1 == m {
+                self.u[i]
+            } else {
+                self.suffix[i + 1] + self.u[i]
+            };
+        }
+        self.suffix_dirty = false;
+    }
+
+    /// Optimal makespan of the market with processor `i` removed — the
+    /// payment bonus term — in O(1) after the (lazy, O(m)) suffix rebuild.
+    ///
+    /// Returns `None` when `i` is out of range or no reduced market exists
+    /// (`m ≤ 1`). Bit-identical to
+    /// [`LeaveOneOut::makespan_without`](crate::LeaveOneOut::makespan_without):
+    /// the splice formulas below mirror that solver operation-for-operation.
+    pub fn makespan_without(&mut self, i: usize) -> Option<f64> {
+        let m = self.params.m();
+        if m <= 1 || i >= m {
+            return None;
+        }
+        let z = self.params.z();
+        if m == 2 {
+            let r = self.params.w()[1 - i];
+            return Some(match self.model {
+                SystemModel::Cp => z + r,
+                SystemModel::NcpFe | SystemModel::NcpNfe => r,
+            });
+        }
+        self.ensure_suffix();
+        let w = self.params.w();
+        if i == 0 {
+            return Some(self.head_cost(w[1]) * self.u[1] / self.suffix[1]);
+        }
+        if i == m - 1 && self.model == SystemModel::NcpNfe {
+            let wl = w[m - 2];
+            let tail = self.u[m - 2] * (z + wl) / wl;
+            let s = self.prefix[m - 3] + tail;
+            return Some(self.head_cost(w[0]) / s);
+        }
+        let s = if i == m - 1 {
+            self.prefix[i - 1]
+        } else {
+            let rho = (z + w[i]) / w[i];
+            self.prefix[i - 1] + rho * self.suffix[i + 1]
+        };
+        Some(self.head_cost(w[0]) / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loo::LeaveOneOut;
+    use crate::model::ALL_MODELS;
+    use crate::optimal;
+
+    fn params(z: f64, w: &[f64]) -> BusParams {
+        BusParams::new(z, w.to_vec()).unwrap()
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fresh_chain_matches_fractions_bitwise() {
+        let p = params(0.3, &[1.0, 2.5, 0.8, 3.2, 1.7, 2.2]);
+        for model in ALL_MODELS {
+            let chain = ChainState::new(model, &p);
+            let mut got = Vec::new();
+            chain.fractions_into(&mut got);
+            assert_eq!(bits(&got), bits(&optimal::fractions(model, &p)), "{model}");
+        }
+    }
+
+    #[test]
+    fn update_bid_matches_rebuild_bitwise() {
+        let p = params(0.25, &[1.0, 2.0, 3.0, 1.5, 2.5]);
+        for model in ALL_MODELS {
+            for i in 0..5 {
+                let mut inc = ChainState::new(model, &p);
+                let mut full = ChainState::new(model, &p);
+                inc.update_bid(i, 1.75);
+                full.update_bid_rebuild(i, 1.75);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                inc.fractions_into(&mut a);
+                full.fractions_into(&mut b);
+                assert_eq!(bits(&a), bits(&b), "{model} i={i}");
+                assert_eq!(
+                    inc.optimal_makespan().to_bits(),
+                    full.optimal_makespan().to_bits(),
+                    "{model} i={i}"
+                );
+                for j in 0..5 {
+                    assert_eq!(
+                        inc.makespan_without(j).map(f64::to_bits),
+                        full.makespan_without(j).map(f64::to_bits),
+                        "{model} update {i} query {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_sequence_matches_from_scratch_bitwise() {
+        // Many stacked updates must not drift from a fresh build on the
+        // final rates — the cache never accumulates its own rounding.
+        let p = params(0.2, &[1.0, 2.0, 3.0, 4.0]);
+        for model in ALL_MODELS {
+            let mut chain = ChainState::new(model, &p);
+            let updates = [(2usize, 0.7), (0, 1.9), (3, 2.2), (1, 0.4), (3, 3.3)];
+            let mut w = p.w().to_vec();
+            for &(i, x) in &updates {
+                chain.update_bid(i, x);
+                w[i] = x;
+            }
+            let fresh = ChainState::new(model, &params(0.2, &w));
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            chain.fractions_into(&mut a);
+            fresh.fractions_into(&mut b);
+            assert_eq!(bits(&a), bits(&b), "{model}");
+        }
+    }
+
+    #[test]
+    fn makespan_without_matches_leave_one_out_bitwise() {
+        let z = 0.3;
+        let w = [1.0, 2.5, 0.8, 3.2, 1.7];
+        let p = params(z, &w);
+        for model in ALL_MODELS {
+            let mut chain = ChainState::new(model, &p);
+            let loo = LeaveOneOut::new(model, z, w.to_vec());
+            for i in 0..w.len() {
+                assert_eq!(
+                    chain.makespan_without(i).map(f64::to_bits),
+                    loo.makespan_without(i).map(f64::to_bits),
+                    "{model} i={i}"
+                );
+            }
+            assert_eq!(
+                chain.optimal_makespan().to_bits(),
+                loo.optimal_makespan().map(f64::to_bits).unwrap(),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_and_tail_updates_refresh_special_links() {
+        // Head updates touch only k[0]; NFE originator updates touch the
+        // front-end-free last link. Both must match a fresh build.
+        for model in ALL_MODELS {
+            for &(i, x) in &[(0usize, 0.5), (2usize, 4.0)] {
+                let p = params(0.4, &[1.0, 2.0, 3.0]);
+                let mut chain = ChainState::new(model, &p);
+                chain.update_bid(i, x);
+                let fresh = ChainState::new(model, &p.with_rate(i, x));
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                chain.fractions_into(&mut a);
+                fresh.fractions_into(&mut b);
+                assert_eq!(bits(&a), bits(&b), "{model} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_markets() {
+        for model in ALL_MODELS {
+            // m = 1: no links; makespan tracks the lone rate.
+            let mut one = ChainState::new(model, &params(0.5, &[3.0]));
+            let expected = if model == SystemModel::Cp { 3.5 } else { 3.0 };
+            assert_eq!(one.optimal_makespan(), expected, "{model}");
+            assert_eq!(one.makespan_without(0), None);
+            one.update_bid(0, 2.0);
+            let expected = if model == SystemModel::Cp { 2.5 } else { 2.0 };
+            assert_eq!(one.optimal_makespan(), expected, "{model}");
+
+            // m = 2: removal leaves a solo market; updates hit both link
+            // shapes (plain and NFE front-end-free).
+            let mut two = ChainState::new(model, &params(1.0, &[2.0, 3.0]));
+            let loo = LeaveOneOut::new(model, 1.0, vec![2.0, 3.0]);
+            for i in 0..2 {
+                assert_eq!(
+                    two.makespan_without(i).map(f64::to_bits),
+                    loo.makespan_without(i).map(f64::to_bits),
+                    "{model} i={i}"
+                );
+            }
+            two.update_bid(1, 4.0);
+            let fresh = ChainState::new(model, &params(1.0, &[2.0, 4.0]));
+            assert_eq!(
+                two.optimal_makespan().to_bits(),
+                fresh.optimal_makespan().to_bits(),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_matches_fresh_build() {
+        let p = params(0.2, &[1.0, 2.0, 3.0, 4.0]);
+        for model in ALL_MODELS {
+            let mut chain = ChainState::new(model, &p);
+            chain.update_bid(2, 9.0); // dirty it first
+            let next = [2.0, 1.0, 4.0, 3.0];
+            chain.reload(&next);
+            let fresh = ChainState::new(model, &params(0.2, &next));
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            chain.fractions_into(&mut a);
+            fresh.fractions_into(&mut b);
+            assert_eq!(bits(&a), bits(&b), "{model}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_bid_rejects_bad_index() {
+        let mut chain = ChainState::new(SystemModel::Cp, &params(0.2, &[1.0, 2.0]));
+        chain.update_bid(2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn update_bid_rejects_bad_rate() {
+        let mut chain = ChainState::new(SystemModel::Cp, &params(0.2, &[1.0, 2.0]));
+        chain.update_bid(0, f64::NAN);
+    }
+}

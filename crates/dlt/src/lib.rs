@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod diagnostics;
 pub mod exact;
 pub mod linear;
@@ -63,7 +64,8 @@ pub mod loo;
 mod model;
 pub mod optimal;
 
+pub use chain::ChainState;
 pub use loo::LeaveOneOut;
 pub use model::{
-    finish_times, makespan, BusParams, ParamError, SystemModel, ALL_MODELS,
+    finish_times, finish_times_into, makespan, BusParams, ParamError, SystemModel, ALL_MODELS,
 };

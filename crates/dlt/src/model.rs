@@ -168,6 +168,19 @@ impl BusParams {
         BusParams { z: self.z, w }
     }
 
+    /// Replaces `w[i]` in place — the mutating counterpart of
+    /// [`BusParams::with_rate`], used by the incremental chain cache
+    /// ([`crate::ChainState`]) to avoid rebuilding the parameter vector on
+    /// every bid update.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds or the new rate is invalid (same
+    /// contract as [`BusParams::with_rate`]).
+    pub fn set_rate(&mut self, i: usize, w_i: f64) {
+        assert!(w_i.is_finite() && w_i > 0.0, "invalid rate {w_i}");
+        self.w[i] = w_i;
+    }
+
     /// Parameters reordered by `perm` (`perm[k]` = old index of the
     /// processor now in position `k`). Used by order-invariance checks
     /// (Theorem 2.2).
@@ -208,42 +221,54 @@ impl BusParams {
 /// # Panics
 /// Panics if `alloc.len() != params.m()`.
 pub fn finish_times(model: SystemModel, params: &BusParams, alloc: &[f64]) -> Vec<f64> {
+    let mut times = Vec::with_capacity(params.m());
+    finish_times_into(model, params, alloc, &mut times);
+    times
+}
+
+/// [`finish_times`] writing into a caller-owned buffer (cleared first) —
+/// the allocation-free variant used by the incremental auction engine's
+/// re-solve path. Produces bit-identical values to [`finish_times`].
+///
+/// # Panics
+/// Panics if `alloc.len() != params.m()`.
+pub fn finish_times_into(
+    model: SystemModel,
+    params: &BusParams,
+    alloc: &[f64],
+    times: &mut Vec<f64>,
+) {
     let m = params.m();
     assert_eq!(alloc.len(), m, "allocation length mismatch");
     let z = params.z();
     let w = params.w();
+    times.clear();
     match model {
         SystemModel::Cp => {
             // T_i = z·Σ_{j≤i} α_j + α_i·w_i
             let mut prefix = 0.0;
-            (0..m)
-                .map(|i| {
-                    prefix += alloc[i];
-                    z * prefix + alloc[i] * w[i]
-                })
-                .collect()
+            for i in 0..m {
+                prefix += alloc[i];
+                times.push(z * prefix + alloc[i] * w[i]);
+            }
         }
         SystemModel::NcpFe => {
             // P_1 computes immediately; P_i (i≥2) waits for α_2..α_i.
-            let mut times = Vec::with_capacity(m);
             times.push(alloc[0] * w[0]);
             let mut prefix = 0.0;
             for i in 1..m {
                 prefix += alloc[i];
                 times.push(z * prefix + alloc[i] * w[i]);
             }
-            times
         }
         SystemModel::NcpNfe => {
             // P_m sends α_1..α_{m-1} first, then computes its own fraction.
-            let mut times = Vec::with_capacity(m);
             let mut prefix = 0.0;
             for i in 0..m.saturating_sub(1) {
                 prefix += alloc[i];
                 times.push(z * prefix + alloc[i] * w[i]);
             }
             times.push(z * prefix + alloc[m - 1] * w[m - 1]);
-            times
         }
     }
 }

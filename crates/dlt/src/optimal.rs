@@ -22,14 +22,24 @@ use crate::model::{makespan, BusParams, SystemModel};
 /// The result sums to 1 (within rounding), has every component in `(0, 1]`,
 /// and equalizes all finishing times (Theorem 2.1).
 pub fn fractions(model: SystemModel, params: &BusParams) -> Vec<f64> {
+    let mut u = Vec::with_capacity(params.m());
+    fractions_into(model, params, &mut u);
+    u
+}
+
+/// [`fractions`] writing into a caller-owned buffer (cleared first) — the
+/// allocation-free variant used by the incremental auction engine. Produces
+/// bit-identical values to [`fractions`].
+pub fn fractions_into(model: SystemModel, params: &BusParams, u: &mut Vec<f64>) {
     let m = params.m();
     let z = params.z();
     let w = params.w();
+    u.clear();
     if m == 1 {
-        return vec![1.0];
+        u.push(1.0);
+        return;
     }
     // Unnormalized fractions u_i with u_1 = 1, then α_i = u_i / Σ u.
-    let mut u = Vec::with_capacity(m);
     u.push(1.0);
     match model {
         SystemModel::Cp | SystemModel::NcpFe => {
@@ -50,10 +60,9 @@ pub fn fractions(model: SystemModel, params: &BusParams) -> Vec<f64> {
         }
     }
     let total: f64 = u.iter().sum();
-    for x in &mut u {
+    for x in u.iter_mut() {
         *x /= total;
     }
-    u
 }
 
 /// Optimal total execution time `T(α(b))` for the given model/parameters.

@@ -41,8 +41,10 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         NO_PANIC_IN_PROTOCOL,
         "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and \
          slice indexing are forbidden in protocol hot paths \
-         (protocol/src/{runtime,referee,ledger,messages}.rs); a malformed \
-         message must yield a typed error, not a crashed session (Lemma 5.1)",
+         (protocol/src/{runtime,referee,ledger,messages}.rs, \
+         mechanism/src/{engine,batch}.rs, bench/src/throughput.rs); a \
+         malformed message must yield a typed error, not a crashed session \
+         (Lemma 5.1)",
     ),
     (
         CRATE_HYGIENE,
@@ -75,7 +77,10 @@ pub fn float_rule_applies(rel_path: &str) -> bool {
         || rel_path == "crates/dlt/src/exact.rs"
 }
 
-/// Paths covered by [`NO_PANIC_IN_PROTOCOL`].
+/// Paths covered by [`NO_PANIC_IN_PROTOCOL`]. Beyond the protocol hot
+/// paths, the auction engine and its batch/throughput layers qualify: they
+/// re-solve markets from cached state on every bid update, so a panic there
+/// lets a deviant bid crash the auctioneer mid-round.
 pub fn panic_rule_applies(rel_path: &str) -> bool {
     matches!(
         rel_path,
@@ -83,6 +88,9 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
             | "crates/protocol/src/referee.rs"
             | "crates/protocol/src/ledger.rs"
             | "crates/protocol/src/messages.rs"
+            | "crates/mechanism/src/engine.rs"
+            | "crates/mechanism/src/batch.rs"
+            | "crates/bench/src/throughput.rs"
     )
 }
 
@@ -322,7 +330,8 @@ fn check_floats(
 /// Keywords that may legally precede `[` without it being an index
 /// expression (array literals / patterns, `let [a, b] = …`).
 const NON_INDEX_KEYWORDS: &[&str] = &[
-    "let", "if", "else", "match", "return", "in", "as", "ref", "move", "box", "break", "continue",
+    "let", "mut", "if", "else", "match", "return", "in", "as", "ref", "move", "box", "break",
+    "continue",
     "await", "yield", "where", "const", "static", "dyn", "impl", "for", "while", "loop", "fn",
     "pub", "use", "mod", "struct", "enum", "union", "trait", "type", "unsafe", "extern",
 ];

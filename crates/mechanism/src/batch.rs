@@ -1,0 +1,336 @@
+//! Batched auction throughput layer: independent markets fanned across
+//! scoped worker threads.
+//!
+//! An auctioneer clearing many *independent* markets (one per load, per
+//! session, per experiment cell) has embarrassingly parallel work with a
+//! cache-friendly shape: every market in a batch shares the model, the bus
+//! rate `z`, and the market size `m`. [`BatchWorkload`] therefore stores
+//! the batch structure-of-arrays — one flat `bids` array and one flat
+//! `observed` array, `markets × m`, no per-market boxing — and
+//! [`BatchAuctioneer::run`] carves the batch into contiguous chunks over
+//! `std::thread::scope` workers. Each worker owns **one**
+//! [`AuctionEngine`] and walks its chunk via
+//! [`AuctionEngine::load_bids`], so per-market cost is a rebuild into
+//! retained buffers: zero allocations after the first market of a chunk.
+//!
+//! Results land in pre-sized `Option` slots (the same pattern as
+//! `exact::compute_payments_exact_parallel`); holes or worker errors
+//! surface as typed [`EngineError`]s, never panics — this module is covered
+//! by the workspace no-panic lint gate.
+
+use crate::engine::{AuctionEngine, EngineError};
+use crate::market::Payment;
+use dls_dlt::SystemModel;
+
+/// A batch of independent markets sharing `model`, `z` and size `m`,
+/// stored structure-of-arrays.
+#[derive(Debug, Clone)]
+pub struct BatchWorkload {
+    model: SystemModel,
+    z: f64,
+    m: usize,
+    /// Concatenated bid vectors, `markets × m`.
+    bids: Vec<f64>,
+    /// Concatenated observed execution rates, `markets × m`.
+    observed: Vec<f64>,
+}
+
+impl BatchWorkload {
+    /// An empty batch of `m`-processor markets.
+    pub fn new(model: SystemModel, z: f64, m: usize) -> Result<Self, EngineError> {
+        if m == 0 {
+            return Err(EngineError::Params(dls_dlt::ParamError::NoProcessors));
+        }
+        if !z.is_finite() || z < 0.0 {
+            return Err(EngineError::Params(dls_dlt::ParamError::InvalidCommRate(z)));
+        }
+        Ok(BatchWorkload {
+            model,
+            z,
+            m,
+            bids: Vec::new(),
+            observed: Vec::new(),
+        })
+    }
+
+    /// Appends one market. Both slices must have length `m` and hold
+    /// finite, positive rates.
+    pub fn push_market(&mut self, bids: &[f64], observed: &[f64]) -> Result<(), EngineError> {
+        if bids.len() != self.m {
+            return Err(EngineError::LengthMismatch {
+                expected: self.m,
+                got: bids.len(),
+            });
+        }
+        if observed.len() != self.m {
+            return Err(EngineError::LengthMismatch {
+                expected: self.m,
+                got: observed.len(),
+            });
+        }
+        for (index, &value) in bids.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(EngineError::InvalidBid { index, value });
+            }
+        }
+        for (index, &value) in observed.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(EngineError::InvalidObserved { index, value });
+            }
+        }
+        self.bids.extend_from_slice(bids);
+        self.observed.extend_from_slice(observed);
+        Ok(())
+    }
+
+    /// The system model shared by every market in the batch.
+    pub fn model(&self) -> SystemModel {
+        self.model
+    }
+
+    /// The bus rate shared by every market in the batch.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Processors per market.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of markets currently in the batch.
+    pub fn markets(&self) -> usize {
+        self.bids.len() / self.m
+    }
+
+    /// Bid vector of market `k`.
+    pub fn market_bids(&self, k: usize) -> Option<&[f64]> {
+        self.bids.get(k * self.m..(k + 1) * self.m)
+    }
+
+    /// Observed-rate vector of market `k`.
+    pub fn market_observed(&self, k: usize) -> Option<&[f64]> {
+        self.observed.get(k * self.m..(k + 1) * self.m)
+    }
+}
+
+/// Results for a whole batch, structure-of-arrays like the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    m: usize,
+    /// Optimal makespan of each market, in batch order.
+    pub makespans: Vec<f64>,
+    /// Concatenated payment vectors, `markets × m`.
+    pub payments: Vec<Payment>,
+}
+
+impl BatchOutcome {
+    /// Payments of market `k`.
+    pub fn payments_for(&self, k: usize) -> Option<&[Payment]> {
+        self.payments.get(k * self.m..(k + 1) * self.m)
+    }
+}
+
+/// Fans a [`BatchWorkload`] across scoped worker threads, one engine per
+/// worker.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchAuctioneer {
+    threads: usize,
+}
+
+impl BatchAuctioneer {
+    /// An auctioneer using up to `threads` workers (clamped to at least 1;
+    /// also clamped to the batch size at run time).
+    pub fn new(threads: usize) -> Self {
+        BatchAuctioneer {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An auctioneer sized to the machine.
+    pub fn from_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        BatchAuctioneer::new(threads)
+    }
+
+    /// Evaluates every market in the batch: optimal makespan plus DLS-BL
+    /// payments under the recorded observed rates. Deterministic — results
+    /// are in batch order and bit-identical to running each market through
+    /// its own [`AuctionEngine`] sequentially.
+    pub fn run(&self, work: &BatchWorkload) -> Result<BatchOutcome, EngineError> {
+        let n = work.markets();
+        let m = work.m;
+        let mut makespans: Vec<Option<f64>> = vec![None; n];
+        let mut payments: Vec<Option<Payment>> = vec![None; n * m];
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            run_chunk(work, 0, &mut makespans, &mut payments)?;
+        } else {
+            let chunk = n.div_ceil(threads);
+            let mut status: Vec<Option<Result<(), EngineError>>> = vec![None; threads];
+            std::thread::scope(|s| {
+                let slots = makespans
+                    .chunks_mut(chunk)
+                    .zip(payments.chunks_mut(chunk * m))
+                    .zip(status.iter_mut())
+                    .enumerate();
+                for (t, ((mk, pay), st)) in slots {
+                    s.spawn(move || {
+                        *st = Some(run_chunk(work, t * chunk, mk, pay));
+                    });
+                }
+            });
+            for st in status {
+                st.unwrap_or(Err(EngineError::BatchIncomplete))?;
+            }
+        }
+        let makespans: Vec<f64> = makespans.into_iter().flatten().collect();
+        if makespans.len() != n {
+            return Err(EngineError::BatchIncomplete);
+        }
+        let payments: Vec<Payment> = payments.into_iter().flatten().collect();
+        if payments.len() != n * m {
+            return Err(EngineError::BatchIncomplete);
+        }
+        Ok(BatchOutcome {
+            m,
+            makespans,
+            payments,
+        })
+    }
+}
+
+/// Evaluates the markets `start..start + mk.len()` into the given slots,
+/// reusing one engine for the whole chunk.
+fn run_chunk(
+    work: &BatchWorkload,
+    start: usize,
+    mk: &mut [Option<f64>],
+    pay: &mut [Option<Payment>],
+) -> Result<(), EngineError> {
+    let m = work.m;
+    let mut engine: Option<AuctionEngine> = None;
+    for (off, slot) in mk.iter_mut().enumerate() {
+        let k = start + off;
+        let bids = work
+            .market_bids(k)
+            .ok_or(EngineError::BatchIncomplete)?;
+        let observed = work
+            .market_observed(k)
+            .ok_or(EngineError::BatchIncomplete)?;
+        let eng = match engine.as_mut() {
+            Some(e) => {
+                e.load_bids(bids)?;
+                e
+            }
+            None => engine.insert(AuctionEngine::new(work.model, work.z, bids.to_vec())?),
+        };
+        *slot = Some(eng.optimal_makespan());
+        let paid = eng.payments(observed)?;
+        let dst = pay
+            .get_mut(off * m..(off + 1) * m)
+            .ok_or(EngineError::BatchIncomplete)?;
+        for (d, p) in dst.iter_mut().zip(paid) {
+            *d = Some(*p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::compute_payments;
+    use dls_dlt::{optimal, BusParams, ALL_MODELS};
+
+    fn demo_workload(model: SystemModel, markets: usize) -> BatchWorkload {
+        let m = 4;
+        let mut work = BatchWorkload::new(model, 0.2, m).unwrap();
+        for k in 0..markets {
+            let bids: Vec<f64> = (0..m).map(|i| 1.0 + ((k + i) % 5) as f64 * 0.5).collect();
+            // A couple of slackers per batch keep the payments non-trivial.
+            let observed: Vec<f64> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| if (k + i) % 3 == 0 { b * 1.25 } else { b })
+                .collect();
+            work.push_market(&bids, &observed).unwrap();
+        }
+        work
+    }
+
+    #[test]
+    fn batch_matches_sequential_one_shot_solvers() {
+        for model in ALL_MODELS {
+            let work = demo_workload(model, 13);
+            for threads in [1, 4] {
+                let out = BatchAuctioneer::new(threads).run(&work).unwrap();
+                assert_eq!(out.makespans.len(), 13, "{model}");
+                for k in 0..13 {
+                    let bids = work.market_bids(k).unwrap();
+                    let observed = work.market_observed(k).unwrap();
+                    let params = BusParams::new(0.2, bids.to_vec()).unwrap();
+                    let alloc = optimal::fractions(model, &params);
+                    let expect_pay = compute_payments(model, &params, &alloc, observed);
+                    assert_eq!(
+                        out.payments_for(k).unwrap(),
+                        expect_pay.as_slice(),
+                        "{model} market {k} threads {threads}"
+                    );
+                    let expect_ms = optimal::optimal_makespan(model, &params);
+                    // Makespans agree to the bit: the chain prefix form is
+                    // certified against the generic solver in dls-dlt.
+                    let got = out.makespans[k];
+                    assert!(
+                        (got - expect_ms).abs() <= 1e-12 * expect_ms,
+                        "{model} market {k}: {got} vs {expect_ms}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let work = demo_workload(SystemModel::NcpNfe, 29);
+        let base = BatchAuctioneer::new(1).run(&work).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let out = BatchAuctioneer::new(threads).run(&work).unwrap();
+            assert_eq!(out, base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let work = BatchWorkload::new(SystemModel::Cp, 0.1, 3).unwrap();
+        let out = BatchAuctioneer::new(4).run(&work).unwrap();
+        assert!(out.makespans.is_empty());
+        assert!(out.payments.is_empty());
+    }
+
+    #[test]
+    fn workload_validation() {
+        assert!(matches!(
+            BatchWorkload::new(SystemModel::Cp, 0.1, 0),
+            Err(EngineError::Params(_))
+        ));
+        assert!(matches!(
+            BatchWorkload::new(SystemModel::Cp, f64::NAN, 3),
+            Err(EngineError::Params(_))
+        ));
+        let mut work = BatchWorkload::new(SystemModel::Cp, 0.1, 3).unwrap();
+        assert!(matches!(
+            work.push_market(&[1.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(EngineError::LengthMismatch { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            work.push_market(&[1.0, 2.0, -3.0], &[1.0, 2.0, 3.0]),
+            Err(EngineError::InvalidBid { index: 2, .. })
+        ));
+        assert!(matches!(
+            work.push_market(&[1.0, 2.0, 3.0], &[1.0, 0.0, 3.0]),
+            Err(EngineError::InvalidObserved { index: 1, .. })
+        ));
+        assert_eq!(work.markets(), 0);
+    }
+}

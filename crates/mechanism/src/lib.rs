@@ -54,11 +54,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod engine;
 pub mod exact;
 mod market;
 pub mod validate;
 
+pub use batch::{BatchAuctioneer, BatchOutcome, BatchWorkload};
+pub use engine::{AuctionEngine, EngineError, Evaluation};
 pub use market::{
-    compute_payments, compute_payments_naive, AgentSpec, Market, MarketError, MechanismOutcome,
-    Payment,
+    compute_payments, compute_payments_into, compute_payments_naive, AgentSpec, Market,
+    MarketError, MechanismOutcome, Payment, PaymentScratch,
 };

@@ -1,6 +1,8 @@
 //! The DLS-BL market: agents, allocation, payments, utilities.
 
-use dls_dlt::{finish_times, makespan, optimal, BusParams, LeaveOneOut, ParamError, SystemModel};
+use dls_dlt::{
+    finish_times_into, makespan, optimal, BusParams, ChainState, ParamError, SystemModel,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -172,19 +174,26 @@ impl Market {
 
     /// Runs the mechanism: allocation from bids, execution at observed
     /// rates, payments per Eq. (12).
+    ///
+    /// Single-pass over the `_into` APIs: the bid and observed vectors are
+    /// moved into their [`BusParams`] (not cloned), and every intermediate
+    /// vector is written exactly once into its output slot.
     pub fn run(&self) -> MechanismOutcome {
-        let bids = self.bids();
-        let observed = self.observed();
-        let bid_params = BusParams::new(self.z, bids.clone()).expect("validated in new()");
-        let alloc = optimal::fractions(self.model, &bid_params);
+        let bid_params = BusParams::new(self.z, self.bids()).expect("validated in new()");
+        let mut chain = ChainState::new(self.model, &bid_params);
+        let mut alloc = Vec::with_capacity(self.m());
+        chain.fractions_into(&mut alloc);
 
         // Actual session finish times: allocation from bids, but each
         // processor computing at its observed rate.
-        let exec_params = BusParams::new(self.z, observed.clone()).expect("validated in new()");
-        let finish = dls_dlt::finish_times(self.model, &exec_params, &alloc);
+        let exec_params = BusParams::new(self.z, self.observed()).expect("validated in new()");
+        let mut finish = Vec::with_capacity(self.m());
+        finish_times_into(self.model, &exec_params, &alloc, &mut finish);
         let actual_makespan = finish.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
 
-        let payments = compute_payments(self.model, &bid_params, &alloc, &observed);
+        let mut payments = Vec::with_capacity(self.m());
+        let mut scratch = PaymentScratch::default();
+        compute_payments_into(&mut chain, &alloc, exec_params.w(), &mut scratch, &mut payments);
 
         MechanismOutcome {
             model: self.model,
@@ -216,50 +225,92 @@ pub fn compute_payments(
     alloc: &[f64],
     observed: &[f64],
 ) -> Vec<Payment> {
-    let m = bid_params.m();
+    let mut chain = ChainState::new(model, bid_params);
+    let mut scratch = PaymentScratch::default();
+    let mut out = Vec::with_capacity(bid_params.m());
+    compute_payments_into(&mut chain, alloc, observed, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable intermediate buffers for [`compute_payments_into`]. One
+/// instance amortizes every internal vector of the payment computation
+/// across evaluations; after the first call of a given market size no
+/// further allocation occurs.
+#[derive(Debug, Clone, Default)]
+pub struct PaymentScratch {
+    /// Finish times of the all-bids schedule under the given allocation.
+    base: Vec<f64>,
+    /// `prefix_max[i] = max(base[..=i])`.
+    prefix_max: Vec<f64>,
+    /// `suffix_max[i] = max(base[i..])`.
+    suffix_max: Vec<f64>,
+    /// First bonus terms `T(α(b_{-i}), b_{-i})`.
+    t_without: Vec<f64>,
+}
+
+/// [`compute_payments`] writing into caller-owned buffers — the
+/// allocation-free core shared by [`Market::run`] and the incremental
+/// `AuctionEngine`. The bid-side chain products come from `chain` (whose
+/// cached prefix/suffix sums answer each leave-one-out query in O(1));
+/// results are bit-identical to [`compute_payments`] on the same inputs.
+///
+/// # Panics
+/// Panics if `alloc` or `observed` disagree with `chain.m()` in length.
+pub fn compute_payments_into(
+    chain: &mut ChainState,
+    alloc: &[f64],
+    observed: &[f64],
+    scratch: &mut PaymentScratch,
+    out: &mut Vec<Payment>,
+) {
+    let m = chain.m();
     assert_eq!(alloc.len(), m);
     assert_eq!(observed.len(), m);
-    let w = bid_params.w();
-    let loo = LeaveOneOut::new(model, bid_params.z(), w.to_vec());
-    // Finish times of the all-bids schedule under the given allocation.
-    let base = finish_times(model, bid_params, alloc);
+    let model = chain.model();
+    finish_times_into(model, chain.params(), alloc, &mut scratch.base);
     // prefix_max[i] = max(base[..=i]); suffix_max[i] = max(base[i..]).
-    let mut prefix_max = base.clone();
+    scratch.prefix_max.clear();
+    scratch.prefix_max.extend_from_slice(&scratch.base);
     for i in 1..m {
-        prefix_max[i] = prefix_max[i].max(prefix_max[i - 1]);
+        scratch.prefix_max[i] = scratch.prefix_max[i].max(scratch.prefix_max[i - 1]);
     }
-    let mut suffix_max = base.clone();
+    scratch.suffix_max.clear();
+    scratch.suffix_max.extend_from_slice(&scratch.base);
     for i in (0..m.saturating_sub(1)).rev() {
-        suffix_max[i] = suffix_max[i].max(suffix_max[i + 1]);
+        scratch.suffix_max[i] = scratch.suffix_max[i].max(scratch.suffix_max[i + 1]);
     }
-    (0..m)
-        .map(|i| {
-            let compensation = alloc[i] * observed[i];
-            // First bonus term: optimal time of the market without P_i —
-            // independent of anything P_i reports or does. A single-agent
-            // market has no reduced counterpart; the term is then the time
-            // of doing nothing at all, i.e. the whole load unserved. We
-            // follow [9] and define it as the solo processing time on an
-            // absent market = +∞ conceptually; practically the mechanism is
-            // only run with m ≥ 2 (the protocol requires peers), so we fall
-            // back to the agent's own bid time to keep the math finite.
-            let t_without = loo.makespan_without(i).unwrap_or(alloc[i] * w[i]);
-            // Second term: the realized schedule, others at their bids, P_i
-            // at its observed speed — max of the other finish times and P_i's
-            // shifted one.
-            let mut t_actual = base[i] + alloc[i] * (observed[i] - w[i]);
-            if i > 0 {
-                t_actual = t_actual.max(prefix_max[i - 1]);
-            }
-            if i + 1 < m {
-                t_actual = t_actual.max(suffix_max[i + 1]);
-            }
-            Payment {
-                compensation,
-                bonus: t_without - t_actual,
-            }
-        })
-        .collect()
+    // First bonus terms: optimal time of the market without P_i —
+    // independent of anything P_i reports or does. A single-agent market
+    // has no reduced counterpart; the term is then the time of doing
+    // nothing at all, i.e. the whole load unserved. We follow [9] and
+    // define it as the solo processing time on an absent market = +∞
+    // conceptually; practically the mechanism is only run with m ≥ 2 (the
+    // protocol requires peers), so we fall back to the agent's own bid
+    // time to keep the math finite.
+    scratch.t_without.clear();
+    for i in 0..m {
+        let solo = alloc[i] * chain.params().w()[i];
+        scratch.t_without.push(chain.makespan_without(i).unwrap_or(solo));
+    }
+    out.clear();
+    let w = chain.params().w();
+    for i in 0..m {
+        let compensation = alloc[i] * observed[i];
+        // Second term: the realized schedule, others at their bids, P_i
+        // at its observed speed — max of the other finish times and P_i's
+        // shifted one.
+        let mut t_actual = scratch.base[i] + alloc[i] * (observed[i] - w[i]);
+        if i > 0 {
+            t_actual = t_actual.max(scratch.prefix_max[i - 1]);
+        }
+        if i + 1 < m {
+            t_actual = t_actual.max(scratch.suffix_max[i + 1]);
+        }
+        out.push(Payment {
+            compensation,
+            bonus: scratch.t_without[i] - t_actual,
+        });
+    }
 }
 
 /// The pre-optimization payment computation: per-agent reduced-market

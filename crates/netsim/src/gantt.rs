@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn multiround_gantt_shows_installments() {
         let p = BusParams::new(0.3, vec![1.0, 2.0, 3.0]).unwrap();
-        let res = crate::multiround::simulate_multiround(&p, 3);
+        let res = crate::multiround::simulate_multiround(&p, 3).unwrap();
         let s = render_multiround(&res, &GanttOptions::default());
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // Comm + 3 procs + scale

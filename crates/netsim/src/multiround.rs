@@ -12,6 +12,24 @@
 
 use crate::session::Segment;
 use dls_dlt::{optimal, BusParams, SystemModel};
+use std::fmt;
+
+/// Invalid multi-round request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiroundError {
+    /// `rounds == 0` — no installments means no schedule to execute.
+    ZeroRounds,
+}
+
+impl fmt::Display for MultiroundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiroundError::ZeroRounds => write!(f, "at least one round is required"),
+        }
+    }
+}
+
+impl std::error::Error for MultiroundError {}
 
 /// Result of a multi-round execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,13 +62,17 @@ impl MultiroundResult {
 /// waits for computation); each processor executes its installments in
 /// arrival order.
 ///
-/// # Panics
-/// Panics if `rounds == 0`.
+/// # Errors
+/// Returns [`MultiroundError::ZeroRounds`] if `rounds == 0` (previously a
+/// panic; zero installments is a caller input error, not an invariant
+/// breach, so it is reported as a typed error).
 pub fn simulate_multiround(
     params: &BusParams,
     rounds: usize,
-) -> MultiroundResult {
-    assert!(rounds > 0, "at least one round required");
+) -> Result<MultiroundResult, MultiroundError> {
+    if rounds == 0 {
+        return Err(MultiroundError::ZeroRounds);
+    }
     let m = params.m();
     let z = params.z();
     let w = params.w();
@@ -81,18 +103,20 @@ pub fn simulate_multiround(
     }
 
     let makespan = proc_free.iter().cloned().fold(0.0f64, f64::max);
-    MultiroundResult {
+    Ok(MultiroundResult {
         rounds,
         makespan,
         compute,
         bus,
-    }
+    })
 }
 
 /// Convenience: single-round CP makespan from the same executor (equals the
 /// closed-form optimum; asserted by tests).
 pub fn single_round_makespan(params: &BusParams) -> f64 {
-    simulate_multiround(params, 1).makespan
+    simulate_multiround(params, 1)
+        .expect("rounds = 1 is always valid")
+        .makespan
 }
 
 #[cfg(test)]
@@ -117,7 +141,7 @@ mod tests {
         let p = params();
         let mut last = f64::INFINITY;
         for r in 1..=8 {
-            let t = simulate_multiround(&p, r).makespan;
+            let t = simulate_multiround(&p, r).unwrap().makespan;
             assert!(t <= last + 1e-12, "round {r}: {t} > {last}");
             last = t;
         }
@@ -126,14 +150,14 @@ mod tests {
     #[test]
     fn multiround_beats_single_round_strictly() {
         let p = params();
-        let t1 = simulate_multiround(&p, 1).makespan;
-        let t4 = simulate_multiround(&p, 4).makespan;
+        let t1 = simulate_multiround(&p, 1).unwrap().makespan;
+        let t4 = simulate_multiround(&p, 4).unwrap().makespan;
         assert!(t4 < t1, "pipelining should strictly help: {t4} vs {t1}");
     }
 
     #[test]
     fn one_port_respected() {
-        let res = simulate_multiround(&params(), 3);
+        let res = simulate_multiround(&params(), 3).unwrap();
         for k in 1..res.bus.len() {
             assert!(res.bus[k].2.start >= res.bus[k - 1].2.end - 1e-15);
         }
@@ -141,7 +165,7 @@ mod tests {
 
     #[test]
     fn installments_execute_in_order_per_processor() {
-        let res = simulate_multiround(&params(), 4);
+        let res = simulate_multiround(&params(), 4).unwrap();
         for segs in &res.compute {
             assert_eq!(segs.len(), 4);
             for k in 1..segs.len() {
@@ -152,9 +176,21 @@ mod tests {
 
     #[test]
     fn bus_utilization_bounded() {
-        let res = simulate_multiround(&params(), 2);
+        let res = simulate_multiround(&params(), 2).unwrap();
         let u = res.bus_utilization();
         assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn zero_rounds_is_a_typed_error() {
+        assert_eq!(
+            simulate_multiround(&params(), 0),
+            Err(MultiroundError::ZeroRounds)
+        );
+        assert_eq!(
+            MultiroundError::ZeroRounds.to_string(),
+            "at least one round is required"
+        );
     }
 
     #[test]
@@ -162,10 +198,10 @@ mod tests {
         // The marginal gain of extra rounds shrinks (no overhead model, so
         // gains monotonically approach the comm/compute overlap bound).
         let p = params();
-        let t1 = simulate_multiround(&p, 1).makespan;
-        let t2 = simulate_multiround(&p, 2).makespan;
-        let t8 = simulate_multiround(&p, 8).makespan;
-        let t16 = simulate_multiround(&p, 16).makespan;
+        let t1 = simulate_multiround(&p, 1).unwrap().makespan;
+        let t2 = simulate_multiround(&p, 2).unwrap().makespan;
+        let t8 = simulate_multiround(&p, 8).unwrap().makespan;
+        let t16 = simulate_multiround(&p, 16).unwrap().makespan;
         assert!(t1 - t2 > t8 - t16, "early rounds matter most");
     }
 }

@@ -102,8 +102,8 @@ proptest! {
         rounds in 2usize..12,
     ) {
         let p = BusParams::new(z, w).unwrap();
-        let t1 = dls_netsim::multiround::simulate_multiround(&p, 1).makespan;
-        let tr = dls_netsim::multiround::simulate_multiround(&p, rounds).makespan;
+        let t1 = dls_netsim::multiround::simulate_multiround(&p, 1).unwrap().makespan;
+        let tr = dls_netsim::multiround::simulate_multiround(&p, rounds).unwrap().makespan;
         prop_assert!(tr <= t1 + 1e-12, "R={} worse: {} > {}", rounds, tr, t1);
         // Pipelining cannot beat the pure computation lower bound:
         // total work / aggregate speed.

@@ -44,7 +44,7 @@ fn main() {
     for r in [2usize, 4, 8] {
         options.push((
             format!("BUS-LINEAR-CP, {r} installments"),
-            simulate_multiround(&bus, r).makespan,
+            simulate_multiround(&bus, r).expect("rounds >= 1").makespan,
         ));
     }
 

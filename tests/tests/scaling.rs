@@ -6,6 +6,7 @@ use dls::protocol::config::{Behavior, ProcessorConfig, SessionConfig};
 use dls::protocol::runtime::run_session;
 use dls::{SessionStatus, SystemModel};
 use dls_bench::payments::{render_json, run_sweep, workload, SweepConfig, SCHEMA};
+use dls_bench::throughput;
 
 fn rates(m: usize) -> Vec<f64> {
     (0..m).map(|i| 1.0 + (i % 5) as f64 * 0.4).collect()
@@ -242,5 +243,111 @@ fn bench_json_matches_documented_schema() {
     match std::fs::read_to_string(committed) {
         Ok(json) => validate_payments_json(&json),
         Err(_) => eprintln!("BENCH_payments.json not present; skipping committed-file check"),
+    }
+}
+
+/// Structural validation of a throughput-benchmark JSON document against
+/// the schema documented in EXPERIMENTS.md — same hand-rolled line-level
+/// style as [`validate_payments_json`].
+fn validate_throughput_json(json: &str) {
+    assert!(
+        json.contains(&format!("\"schema\": \"{}\"", throughput::SCHEMA)),
+        "schema marker missing"
+    );
+    assert!(json.contains("\"config\":"), "config object missing");
+    let models = ["\"cp\"", "\"ncp-fe\"", "\"ncp-nfe\""];
+    let kinds = ["\"auction\"", "\"bid-update\""];
+    let paths = [
+        "\"batched\"",
+        "\"incremental\"",
+        "\"engine-rebuild\"",
+        "\"full-recompute\"",
+    ];
+    let mut entries = 0;
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"model\"") {
+            continue;
+        }
+        entries += 1;
+        for key in [
+            "\"model\": ",
+            "\"m\": ",
+            "\"kind\": ",
+            "\"path\": ",
+            "\"batch\": ",
+            "\"ns_per_op\": ",
+            "\"ops_per_sec\": ",
+        ] {
+            assert!(line.contains(key), "entry missing {key}: {line}");
+        }
+        assert!(
+            models.iter().any(|m| line.contains(&format!("\"model\": {m}"))),
+            "unknown model in {line}"
+        );
+        assert!(
+            kinds.iter().any(|k| line.contains(&format!("\"kind\": {k}"))),
+            "unknown kind in {line}"
+        );
+        assert!(
+            paths.iter().any(|p| line.contains(&format!("\"path\": {p}"))),
+            "unknown path in {line}"
+        );
+    }
+    assert!(entries > 0, "no entries found");
+    let opens = json.matches('{').count();
+    assert_eq!(opens, json.matches('}').count(), "unbalanced braces");
+}
+
+/// A quick throughput sweep must cover every (model, kind, path) cell of
+/// its config, emit a document matching the documented schema, and show the
+/// incremental bid-update path no slower than the full-recompute fallback
+/// at m = 1024 — the structural property the tentpole exists for. The
+/// committed `BENCH_throughput.json` (when present) must match the schema
+/// too.
+#[test]
+fn throughput_bench_json_matches_documented_schema() {
+    let cfg = throughput::ThroughputConfig::quick();
+    let entries = throughput::run_sweep(&cfg).expect("quick sweep must succeed");
+    for model in ["cp", "ncp-fe", "ncp-nfe"] {
+        for &m in &cfg.auction_sizes {
+            for &batch in &cfg.batch_sizes {
+                assert!(
+                    entries.iter().any(|e| e.model == model
+                        && e.kind == "auction"
+                        && e.m == m
+                        && e.batch == batch),
+                    "missing {model}/auction m={m} batch={batch}"
+                );
+            }
+        }
+        for &m in &cfg.update_sizes {
+            for path in ["incremental", "engine-rebuild", "full-recompute"] {
+                assert!(
+                    entries.iter().any(|e| e.model == model
+                        && e.kind == "bid-update"
+                        && e.m == m
+                        && e.path == path),
+                    "missing {model}/bid-update/{path} m={m}"
+                );
+            }
+        }
+        // The incremental splice must not lose to the full rebuild at the
+        // largest quick size. Generous: asserts >= 1x (no regression to a
+        // pessimized splice), not the >= 5x the release benchmark shows —
+        // debug builds and loaded CI machines add noise.
+        let speedup = throughput::update_speedup(&entries, model, 1024)
+            .expect("m=1024 bid-update entries present");
+        assert!(
+            speedup >= 1.0,
+            "{model}: incremental bid updates slower than full recompute at m=1024: {speedup:.2}x"
+        );
+    }
+    validate_throughput_json(&throughput::render_json(&cfg, &entries));
+
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../BENCH_throughput.json");
+    match std::fs::read_to_string(committed) {
+        Ok(json) => validate_throughput_json(&json),
+        Err(_) => eprintln!("BENCH_throughput.json not present; skipping committed-file check"),
     }
 }

@@ -1,0 +1,232 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The container has no network access, so the real crate cannot be
+//! fetched. Bench targets keep their exact source; this stand-in gives
+//! them two behaviours:
+//!
+//! * under `cargo bench` (the harness receives `--bench`): each benchmark
+//!   is timed with a short warm-up and a fixed sample loop, and a
+//!   `name: median ns/iter` line is printed;
+//! * under `cargo test` (no `--bench` argument): each routine is executed
+//!   exactly once so the bench code is smoke-tested without measurement,
+//!   matching real criterion's test mode.
+
+use std::time::Instant;
+
+/// Throughput annotation (recorded, unused by the stand-in reporter).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter, as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (accepts `&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Median ns/iter recorded by the last `iter` call (test mode: 0).
+    last_ns: u128,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure.
+    Measure { sample_size: usize },
+    /// `cargo test`: run the routine once, no measurement.
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine`, mirroring `criterion::Bencher::iter`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(routine());
+                self.last_ns = 0;
+            }
+            Mode::Measure { sample_size } => {
+                // Short warm-up, then `sample_size` timed samples; report
+                // the median to shrug off scheduler noise.
+                std::hint::black_box(routine());
+                let mut samples: Vec<u128> = (0..sample_size)
+                    .map(|_| {
+                        let start = Instant::now();
+                        std::hint::black_box(routine());
+                        start.elapsed().as_nanos()
+                    })
+                    .collect();
+                samples.sort_unstable();
+                self.last_ns = samples[samples.len() / 2];
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Records the group's throughput annotation (accepted, unused).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mode = if self.criterion.measure {
+            Mode::Measure {
+                sample_size: self.sample_size.min(10),
+            }
+        } else {
+            Mode::Smoke
+        };
+        let mut bencher = Bencher { mode, last_ns: 0 };
+        f(&mut bencher);
+        if self.criterion.measure {
+            println!("{}/{}: {} ns/iter (median)", self.name, id, bencher.last_ns);
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    /// Detects the invocation mode: `cargo bench` passes `--bench` to the
+    /// harness, `cargo test` does not.
+    fn default() -> Self {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench harness entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `channel::{unbounded, Sender, Receiver}` with `send`, `try_iter` and
+//! cloning. Backed by a `Mutex<VecDeque>`; FIFO semantics match the real
+//! unbounded MPMC channel for the workspace's drain-style usage.
+
+pub mod channel {
+    //! Unbounded MPMC channel.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] (never produced here: the channel
+    /// has no disconnect detection, matching how the workspace ignores
+    /// send results on teardown).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Producer half.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.shared.lock().push_back(msg);
+            Ok(())
+        }
+    }
+
+    /// Consumer half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Iterator over currently-queued messages without blocking. Lazy,
+        /// like the real crate: each `next()` pops one message, so dropping
+        /// the iterator early leaves the rest queued.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+    }
+
+    /// Iterator over currently-available messages (see
+    /// [`Receiver::try_iter`]).
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.shared.lock().pop_front()
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::unbounded;
+
+        #[test]
+        fn fifo_and_drain() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+            assert!(rx.try_iter().next().is_none());
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![3]);
+        }
+    }
+}

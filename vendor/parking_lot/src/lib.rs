@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace uses:
+//! `Mutex` (with `const fn new` and non-poisoning `lock`) and `Condvar`
+//! (`wait` on `&mut MutexGuard`, `notify_all`/`notify_one`).
+//!
+//! Built on `std::sync` primitives; poisoning is swallowed exactly like
+//! `parking_lot` (a panicking critical section does not wedge the lock).
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// Non-poisoning mutex with `parking_lot`'s construction/locking surface.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex (usable in `static` initializers, like the real
+    /// crate's `const fn new`).
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `std` guard lives in an `Option` so [`Condvar::wait`] can take
+/// it by value (std's `wait` consumes the guard) and put it back, while the
+/// public API matches `parking_lot`'s `wait(&mut guard)`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard invariant")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard invariant")
+    }
+}
+
+/// Condition variable matching `parking_lot`'s `wait(&mut guard)` shape.
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard`'s lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard invariant");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            *g += 1;
+            cv.notify_all();
+        });
+        {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            while *g == 0 {
+                cv.wait(&mut g);
+            }
+            assert_eq!(*g, 1);
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn static_mutex_initializer() {
+        static CELL: Mutex<Option<u32>> = Mutex::new(None);
+        *CELL.lock() = Some(5);
+        assert_eq!(*CELL.lock(), Some(5));
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The container has no network access, so the real crate cannot be
+//! fetched. This stand-in keeps the same API shape — `proptest!`,
+//! `prop_assert*!`, `prop_assume!`, `prop_oneof!`, `Strategy` and its
+//! combinators, `prop::{collection, sample, num}` — with simplified
+//! semantics: cases are generated from a deterministic per-test RNG
+//! (seeded from the test's module path and name) and failures are *not*
+//! shrunk; the failing values are reported as generated.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` stand-in.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical uniform generator.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),+) => {
+            $(
+                impl Arbitrary for $ty {
+                    fn arbitrary(rng: &mut TestRng) -> Self {
+                        rng.next_u64() as $ty
+                    }
+                }
+            )+
+        };
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::new(rng.next_u64())
+        }
+    }
+
+    /// Strategy generating values via [`Arbitrary`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` values with a
+    /// length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`select`, `Index`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An index into a runtime-sized collection, mirroring
+    /// `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn new(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Maps this index into `0..len`. `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+
+    /// `proptest::sample::select`: choose one of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+pub mod num {
+    //! Numeric class strategies (`f64::NORMAL`, `f64::ZERO`, …).
+
+    #[allow(non_snake_case)]
+    pub mod f64 {
+        //! Strategies for `f64` values by floating-point class.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// A union of floating-point classes; `|` combines classes like the
+        /// real crate's bit-flag strategies.
+        #[derive(Clone, Copy, Debug)]
+        pub struct FloatClasses {
+            mask: u8,
+        }
+
+        const NORMAL_BIT: u8 = 1;
+        const ZERO_BIT: u8 = 2;
+        const SUBNORMAL_BIT: u8 = 4;
+        const INFINITE_BIT: u8 = 8;
+
+        /// Normal (full exponent range, non-zero) values.
+        pub const NORMAL: FloatClasses = FloatClasses { mask: NORMAL_BIT };
+        /// Positive and negative zero.
+        pub const ZERO: FloatClasses = FloatClasses { mask: ZERO_BIT };
+        /// Subnormal values.
+        pub const SUBNORMAL: FloatClasses = FloatClasses {
+            mask: SUBNORMAL_BIT,
+        };
+        /// Positive and negative infinity.
+        pub const INFINITE: FloatClasses = FloatClasses { mask: INFINITE_BIT };
+
+        impl std::ops::BitOr for FloatClasses {
+            type Output = FloatClasses;
+
+            fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                FloatClasses {
+                    mask: self.mask | rhs.mask,
+                }
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                let set: Vec<u8> = [NORMAL_BIT, ZERO_BIT, SUBNORMAL_BIT, INFINITE_BIT]
+                    .into_iter()
+                    .filter(|b| self.mask & b != 0)
+                    .collect();
+                assert!(!set.is_empty(), "empty float class mask");
+                let pick = set[(rng.next_u64() % set.len() as u64) as usize];
+                match pick {
+                    ZERO_BIT => {
+                        if rng.next_u64() & 1 == 0 {
+                            0.0
+                        } else {
+                            -0.0
+                        }
+                    }
+                    INFINITE_BIT => {
+                        if rng.next_u64() & 1 == 0 {
+                            f64::INFINITY
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    }
+                    SUBNORMAL_BIT => loop {
+                        let bits = rng.next_u64() & 0x800f_ffff_ffff_ffff;
+                        let x = f64::from_bits(bits);
+                        if x.is_subnormal() {
+                            return x;
+                        }
+                    },
+                    _ => loop {
+                        let x = f64::from_bits(rng.next_u64());
+                        if x.is_normal() {
+                            return x;
+                        }
+                    },
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection::vec`, …).
+
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts two values are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh values and does not
+/// count toward the configured case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Weighted union of strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property-test entry point, mirroring `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` header followed by test functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut successes: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cfg.cases.saturating_mul(16).max(64);
+            while successes < cfg.cases && attempts < max_attempts {
+                attempts += 1;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => successes += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed (attempt {} of {}): {}",
+                            attempts, max_attempts, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}

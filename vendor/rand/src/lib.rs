@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen` for
+//! `bool`/`u32`/`u64`/`f64`.
+//!
+//! The container this repository builds in has no network access, so the
+//! real crates-io `rand` cannot be fetched. Workspace code only relies on
+//! *deterministic, seedable* randomness — never on a particular stream —
+//! so a splitmix64-backed generator is a faithful substitute. (The
+//! workspace's own benchmark workloads already avoid `StdRng` for frozen
+//! sequences precisely because `rand` documents its streams as unstable
+//! across versions; see `crates/bench/src/workloads.rs`.)
+
+/// Types that can be sampled uniformly from a random 64-bit stream.
+///
+/// Stand-in for `rand`'s `Standard: Distribution<T>` machinery, collapsed
+/// to the one method the workspace needs.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits, the same mapping
+    /// the real crate's `Standard` distribution uses.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Minimal `Rng`: a 64-bit source plus the generic `gen` front-end.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (uniform over its `StandardSample`
+    /// mapping), mirroring `rand::Rng::gen`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring the one constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64; Steele, Lea & Flood
+    /// 2014). Statistically solid for test/bench workloads and stable by
+    /// construction.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f64 = a.gen();
+            let y: f64 = b.gen();
+            assert_eq!(x, y);
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn works_through_mut_ref() {
+        fn draw(rng: &mut impl Rng) -> u32 {
+            rng.gen()
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = draw(&mut r);
+    }
+}

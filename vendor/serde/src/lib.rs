@@ -1,0 +1,28 @@
+//! Offline stand-in for the serde *serialization* surface this workspace
+//! uses. The container has no network access, so the real crates-io `serde`
+//! cannot be fetched; this crate re-implements the serializer side of the
+//! serde data model faithfully (same trait shapes, same method set) so the
+//! workspace's canonical TLV encoder (`dls-crypto::canon`) and its derived
+//! `Serialize` impls behave exactly as they would on real serde.
+//!
+//! Deserialization is not implemented — the workspace derives `Deserialize`
+//! for forward-compatibility but never calls it, so the trait here is an
+//! empty marker.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The workspace derives it but has no deserialization call sites; deriving
+/// produces an empty impl.
+pub trait Deserialize {}
+
+pub mod de {
+    //! Deserialization side — marker only (see crate docs).
+
+    pub use super::Deserialize;
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The container has no network access, so `syn`/`quote` are unavailable;
+//! the input item is parsed directly from the `proc_macro` token stream.
+//! This is sufficient — and faithful to real `serde_derive` output — for
+//! the shapes this workspace derives on: non-generic structs (named, tuple,
+//! unit) and non-generic enums whose variants are unit, tuple or
+//! struct-like, with no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (field-by-field, same data-model calls as
+/// real serde: `serialize_struct`, `serialize_unit_variant`, …).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`. Deserialization is unimplemented in the
+/// stand-in `serde` (the workspace never deserializes), so this emits an
+/// empty marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips leading attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`) at position `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {:?}", other)),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {:?}", other)),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the offline serde_derive stand-in does not support generic type `{}`",
+            name
+        ));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unsupported struct body: {:?}", other)),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {:?}", other)),
+        },
+        other => return Err(format!("cannot derive for `{}` items", other)),
+    };
+
+    Ok(Item { name, body })
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected field name, found {:?}", tt));
+        };
+        names.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {:?}", other)),
+        }
+        // Consume the type up to the next top-level comma. `<` / `>` need
+        // depth tracking for types like `Vec<(K, V)>`.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma (`(A, B,)`) over-counts by one.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected variant name, found {:?}", tt));
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "explicit discriminants are unsupported (variant `{}`)",
+                name
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut code = String::from("use ::serde::ser::SerializeStruct as _;\n");
+            code.push_str(&format!(
+                "let mut st = serializer.serialize_struct({:?}, {})?;\n",
+                name,
+                fields.len()
+            ));
+            for f in fields {
+                code.push_str(&format!("st.serialize_field({:?}, &self.{})?;\n", f, f));
+            }
+            code.push_str("st.end()\n");
+            code
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut code = String::from("use ::serde::ser::SerializeTupleStruct as _;\n");
+            code.push_str(&format!(
+                "let mut st = serializer.serialize_tuple_struct({:?}, {})?;\n",
+                name, n
+            ));
+            for idx in 0..*n {
+                code.push_str(&format!("st.serialize_field(&self.{})?;\n", idx));
+            }
+            code.push_str("st.end()\n");
+            code
+        }
+        Body::Struct(Fields::Unit) => {
+            format!("serializer.serialize_unit_struct({:?})\n", name)
+        }
+        Body::Enum(variants) => {
+            let mut code = String::from(
+                "use ::serde::ser::{SerializeStructVariant as _, SerializeTupleVariant as _};\n\
+                 match self {\n",
+            );
+            for (index, v) in variants.iter().enumerate() {
+                match &v.fields {
+                    Fields::Unit => {
+                        code.push_str(&format!(
+                            "{}::{} => serializer.serialize_unit_variant({:?}, {}u32, {:?}),\n",
+                            name, v.name, name, index, v.name
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{}", k)).collect();
+                        code.push_str(&format!(
+                            "{}::{}({}) => {{\n",
+                            name,
+                            v.name,
+                            binds.join(", ")
+                        ));
+                        code.push_str(&format!(
+                            "let mut sv = serializer.serialize_tuple_variant({:?}, {}u32, {:?}, {})?;\n",
+                            name, index, v.name, n
+                        ));
+                        for b in &binds {
+                            code.push_str(&format!("sv.serialize_field({})?;\n", b));
+                        }
+                        code.push_str("sv.end()\n}\n");
+                    }
+                    Fields::Named(fields) => {
+                        code.push_str(&format!(
+                            "{}::{} {{ {} }} => {{\n",
+                            name,
+                            v.name,
+                            fields.join(", ")
+                        ));
+                        code.push_str(&format!(
+                            "let mut sv = serializer.serialize_struct_variant({:?}, {}u32, {:?}, {})?;\n",
+                            name, index, v.name, fields.len()
+                        ));
+                        for f in fields {
+                            code.push_str(&format!("sv.serialize_field({:?}, {})?;\n", f, f));
+                        }
+                        code.push_str("sv.end()\n}\n");
+                    }
+                }
+            }
+            code.push_str("}\n");
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{}\n}}\n}}\n",
+        name, body
+    )
+}

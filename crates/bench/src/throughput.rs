@@ -121,9 +121,12 @@ pub struct ThroughputEntry {
     /// bid-update cells.
     pub batch: usize,
     /// Best-of-reps wall-clock per operation (one auction / one update),
-    /// nanoseconds.
-    pub ns_per_op: u128,
-    /// Derived rate, operations per second.
+    /// nanoseconds. Fractional: the timed block/batch is divided by the
+    /// operation count in `f64`, so sub-nanosecond resolution survives at
+    /// small `m` instead of truncating.
+    pub ns_per_op: f64,
+    /// Derived rate, operations per second (rounded to the nearest
+    /// integer).
     pub ops_per_sec: u128,
 }
 
@@ -151,7 +154,9 @@ fn ops_per_sec(ops: u128, ns: u128) -> u128 {
     if ns == 0 {
         return 0;
     }
-    ops.saturating_mul(1_000_000_000) / ns
+    // Round rather than truncate: derived from the full block time in f64,
+    // which is exact well past our nanosecond counts (< 2^53).
+    (ops as f64 * 1e9 / ns as f64).round() as u128
 }
 
 /// The observed-rate vector for a bid vector: every seventh agent slacks by
@@ -222,10 +227,10 @@ pub fn run_sweep(cfg: &ThroughputConfig) -> Result<Vec<ThroughputEntry>, EngineE
                 let (ns_batch, last) =
                     time_ns(cfg.target_ns_per_cell, || auctioneer.run(&work));
                 last?;
-                let ns = ns_batch / batch as u128;
+                let ns = ns_batch as f64 / batch as f64;
                 let ops = ops_per_sec(batch as u128, ns_batch);
                 eprintln!(
-                    "{slug:8} m={m:5} auction    batch={batch:3} {ns:>12} ns/op  {ops:>9} ops/s"
+                    "{slug:8} m={m:5} auction    batch={batch:3} {ns:>14.1} ns/op  {ops:>9} ops/s"
                 );
                 entries.push(ThroughputEntry {
                     model: slug,
@@ -276,10 +281,10 @@ pub fn run_sweep(cfg: &ThroughputConfig) -> Result<Vec<ThroughputEntry>, EngineE
                     Ok::<f64, EngineError>(std::hint::black_box(acc))
                 });
                 last?;
-                let ns = ns_block / block;
+                let ns = ns_block as f64 / block as f64;
                 let ops = ops_per_sec(block, ns_block);
                 eprintln!(
-                    "{slug:8} m={m:5} bid-update {path:<14} {ns:>12} ns/op  {ops:>9} ops/s"
+                    "{slug:8} m={m:5} bid-update {path:<14} {ns:>14.1} ns/op  {ops:>9} ops/s"
                 );
                 entries.push(ThroughputEntry {
                     model: slug,
@@ -307,10 +312,10 @@ pub fn update_speedup(entries: &[ThroughputEntry], model: &str, m: usize) -> Opt
             .map(|e| e.ns_per_op)
     };
     let (inc, full) = (find("incremental")?, find("full-recompute")?);
-    if inc == 0 {
+    if inc <= 0.0 {
         return None;
     }
-    Some(full as f64 / inc as f64)
+    Some(full / inc)
 }
 
 /// Renders the sweep as the committed `BENCH_throughput.json` document.
@@ -329,7 +334,7 @@ pub fn render_json(cfg: &ThroughputConfig, entries: &[ThroughputEntry]) -> Strin
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         s.push_str(&format!(
-            "    {{\"model\": \"{}\", \"m\": {}, \"kind\": \"{}\", \"path\": \"{}\", \"batch\": {}, \"ns_per_op\": {}, \"ops_per_sec\": {}}}{sep}\n",
+            "    {{\"model\": \"{}\", \"m\": {}, \"kind\": \"{}\", \"path\": \"{}\", \"batch\": {}, \"ns_per_op\": {:?}, \"ops_per_sec\": {}}}{sep}\n",
             e.model, e.m, e.kind, e.path, e.batch, e.ns_per_op, e.ops_per_sec
         ));
     }
@@ -371,12 +376,15 @@ mod tests {
             kind: "auction",
             path: "batched",
             batch: 8,
-            ns_per_op: 1200,
+            ns_per_op: 1200.5,
             ops_per_sec: 833_333,
         }];
         let json = render_json(&cfg, &entries);
         assert!(json.contains("\"schema\": \"dls-bench-throughput-v1\""));
         assert!(json.contains("\"kind\": \"auction\""));
+        // Fractional per-op figures survive into the JSON (no integer
+        // truncation of small per-op times).
+        assert!(json.contains("\"ns_per_op\": 1200.5"));
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());
         assert_eq!(opens, 3, "root + config + one entry");
@@ -384,7 +392,7 @@ mod tests {
 
     #[test]
     fn update_speedup_reads_matching_entries() {
-        let mk = |path: &'static str, ns: u128| ThroughputEntry {
+        let mk = |path: &'static str, ns: f64| ThroughputEntry {
             model: "cp",
             m: 1024,
             kind: "bid-update",
@@ -393,7 +401,7 @@ mod tests {
             ns_per_op: ns,
             ops_per_sec: 0,
         };
-        let entries = vec![mk("incremental", 100), mk("full-recompute", 900)];
+        let entries = vec![mk("incremental", 100.0), mk("full-recompute", 900.0)];
         assert_eq!(update_speedup(&entries, "cp", 1024), Some(9.0));
         assert_eq!(update_speedup(&entries, "cp", 16), None);
     }

@@ -2,6 +2,14 @@
 //!
 //! Key generation is expensive, so a handful of cached key pairs are shared
 //! across cases and the per-case iteration count is reduced.
+//!
+//! **Fidelity note:** in this offline workspace these properties run
+//! against the vendored proptest stand-in (`vendor/proptest`): a
+//! deterministic per-test seed, a fixed case count, no shrinking, and no
+//! run-to-run variation. A green run is a frozen regression sweep (256
+//! cases by default), not real fuzzing — re-run the suite against
+//! upstream proptest whenever registry access is available (see
+//! `vendor/README.md`).
 
 use dls_crypto::canon;
 use dls_crypto::pki::{is_equivocation, KeyPair, Registry};

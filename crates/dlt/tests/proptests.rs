@@ -1,5 +1,13 @@
 //! Property tests for the DLT core: Theorems 2.1 and 2.2 and solver
 //! cross-certification on random parameter sets.
+//!
+//! **Fidelity note:** in this offline workspace these properties run
+//! against the vendored proptest stand-in (`vendor/proptest`): a
+//! deterministic per-test seed, a fixed case count, no shrinking, and no
+//! run-to-run variation. A green run is a frozen regression sweep (256
+//! cases by default), not real fuzzing — re-run the suite against
+//! upstream proptest whenever registry access is available (see
+//! `vendor/README.md`).
 
 use dls_dlt::{
     diagnostics, exact, finish_times, makespan, optimal, BusParams, SystemModel, ALL_MODELS,

@@ -167,7 +167,13 @@ impl BatchAuctioneer {
             run_chunk(work, 0, &mut makespans, &mut payments)?;
         } else {
             let chunk = n.div_ceil(threads);
-            let mut status: Vec<Option<Result<(), EngineError>>> = vec![None; threads];
+            // `chunks_mut(chunk)` yields ceil(n/chunk) chunks, which is
+            // *fewer* than `threads` when n doesn't tile evenly (n=5,
+            // threads=4 -> chunk=2 -> 3 chunks), so status must be sized
+            // by the real chunk count or trailing slots stay None and the
+            // join loop reports a spurious BatchIncomplete.
+            let chunks = n.div_ceil(chunk);
+            let mut status: Vec<Option<Result<(), EngineError>>> = vec![None; chunks];
             std::thread::scope(|s| {
                 let slots = makespans
                     .chunks_mut(chunk)
@@ -287,6 +293,23 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Regression: when the batch doesn't tile evenly across workers,
+    /// `chunks_mut` yields fewer chunks than threads (n=5, threads=4 ->
+    /// chunk=2 -> 3 chunks). Status slots must be sized by the real chunk
+    /// count, not the thread count, or `run` reports BatchIncomplete even
+    /// though every market was evaluated.
+    #[test]
+    fn uneven_batches_complete() {
+        for (markets, threads) in [(5, 4), (9, 8), (3, 64), (7, 2)] {
+            let work = demo_workload(SystemModel::NcpFe, markets);
+            let base = BatchAuctioneer::new(1).run(&work).unwrap();
+            let out = BatchAuctioneer::new(threads)
+                .run(&work)
+                .unwrap_or_else(|e| panic!("n={markets} threads={threads}: {e}"));
+            assert_eq!(out, base, "n={markets} threads={threads}");
         }
     }
 

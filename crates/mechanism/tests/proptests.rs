@@ -1,5 +1,13 @@
 //! Property tests for DLS-BL: Theorems 3.1 (strategyproofness) and 3.2
 //! (voluntary participation) on random markets in the DLT regime.
+//!
+//! **Fidelity note:** in this offline workspace these properties run
+//! against the vendored proptest stand-in (`vendor/proptest`): a
+//! deterministic per-test seed, a fixed case count, no shrinking, and no
+//! run-to-run variation. A green run is a frozen regression sweep (256
+//! cases by default), not real fuzzing — re-run the suite against
+//! upstream proptest whenever registry access is available (see
+//! `vendor/README.md`).
 
 use dls_mechanism::validate::{
     participation_holds, sweep_strategyproof,

@@ -1,6 +1,14 @@
 //! Property tests: the discrete-event simulator agrees with the closed-form
 //! finishing-time equations on random schedules, and structural invariants
 //! hold on every trace.
+//!
+//! **Fidelity note:** in this offline workspace these properties run
+//! against the vendored proptest stand-in (`vendor/proptest`): a
+//! deterministic per-test seed, a fixed case count, no shrinking, and no
+//! run-to-run variation. A green run is a frozen regression sweep (256
+//! cases by default), not real fuzzing — re-run the suite against
+//! upstream proptest whenever registry access is available (see
+//! `vendor/README.md`).
 
 use dls_dlt::{finish_times, optimal, BusParams, SystemModel, ALL_MODELS};
 use dls_netsim::{simulate, SessionSpec};

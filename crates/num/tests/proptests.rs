@@ -3,6 +3,14 @@
 //! Strategy: generate random values both as primitives (cross-checked against
 //! `u128`/`i128` arithmetic) and as random limb vectors (exercising carry
 //! chains, Karatsuba, and Knuth-D on multi-limb operands).
+//!
+//! **Fidelity note:** in this offline workspace these properties run
+//! against the vendored proptest stand-in (`vendor/proptest`): a
+//! deterministic per-test seed, a fixed case count, no shrinking, and no
+//! run-to-run variation. A green run is a frozen regression sweep (256
+//! cases by default), not real fuzzing — re-run the suite against
+//! upstream proptest whenever registry access is available (see
+//! `vendor/README.md`).
 
 use dls_num::{gcd, lcm, modmath, BigInt, BigUint, Rational};
 use proptest::prelude::*;

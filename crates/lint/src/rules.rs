@@ -41,7 +41,7 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         NO_PANIC_IN_PROTOCOL,
         "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and \
          slice indexing are forbidden in protocol hot paths \
-         (protocol/src/{runtime,referee,ledger,messages}.rs, \
+         (protocol/src/{runtime,referee,ledger,messages,fault,config}.rs, \
          mechanism/src/{engine,batch}.rs, bench/src/throughput.rs); a \
          malformed message must yield a typed error, not a crashed session \
          (Lemma 5.1)",
@@ -80,7 +80,9 @@ pub fn float_rule_applies(rel_path: &str) -> bool {
 /// Paths covered by [`NO_PANIC_IN_PROTOCOL`]. Beyond the protocol hot
 /// paths, the auction engine and its batch/throughput layers qualify: they
 /// re-solve markets from cached state on every bid update, so a panic there
-/// lets a deviant bid crash the auctioneer mid-round.
+/// lets a deviant bid crash the auctioneer mid-round. The fault/degradation
+/// modules (`fault.rs`, `config.rs`) qualify for the same reason inverted:
+/// the layer that turns crashes into typed reports must not itself panic.
 pub fn panic_rule_applies(rel_path: &str) -> bool {
     matches!(
         rel_path,
@@ -88,6 +90,8 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
             | "crates/protocol/src/referee.rs"
             | "crates/protocol/src/ledger.rs"
             | "crates/protocol/src/messages.rs"
+            | "crates/protocol/src/fault.rs"
+            | "crates/protocol/src/config.rs"
             | "crates/mechanism/src/engine.rs"
             | "crates/mechanism/src/batch.rs"
             | "crates/bench/src/throughput.rs"

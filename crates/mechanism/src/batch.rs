@@ -17,10 +17,18 @@
 //! `exact::compute_payments_exact_parallel`); holes or worker errors
 //! surface as typed [`EngineError`]s, never panics — this module is covered
 //! by the workspace no-panic lint gate.
+//!
+//! Workers additionally run behind a panic barrier: a worker that panics
+//! poisons only the markets of its own chunk it had not yet completed.
+//! [`BatchAuctioneer::run`] maps any poisoned market to a batch-level
+//! [`EngineError`]; [`BatchAuctioneer::run_contained`] instead returns a
+//! [`BatchReport`] that keeps every completed market's results and lists
+//! the poisoned ones per-market.
 
 use crate::engine::{AuctionEngine, EngineError};
 use crate::market::Payment;
 use dls_dlt::SystemModel;
+use std::panic::AssertUnwindSafe;
 
 /// A batch of independent markets sharing `model`, `z` and size `m`,
 /// stored structure-of-arrays.
@@ -131,6 +139,79 @@ impl BatchOutcome {
     }
 }
 
+/// One market a contained batch run could not evaluate, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketFailure {
+    /// Batch-order market index.
+    pub market: usize,
+    /// The error that poisoned it — [`EngineError::WorkerPanicked`] when
+    /// the chunk's worker panicked, otherwise the worker's typed error.
+    pub error: EngineError,
+}
+
+/// Outcome of [`BatchAuctioneer::run_contained`]: every market the workers
+/// completed keeps its results; markets poisoned by a worker panic or
+/// error are listed in [`BatchReport::failures`] and read back as `None`.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    m: usize,
+    makespans: Vec<Option<f64>>,
+    /// Concatenated payment slots, `markets × m`; a poisoned market's row
+    /// is all `None`.
+    payments: Vec<Option<Payment>>,
+    failures: Vec<MarketFailure>,
+}
+
+impl BatchReport {
+    /// Number of markets in the batch (completed or not).
+    pub fn markets(&self) -> usize {
+        self.makespans.len()
+    }
+
+    /// The markets that could not be evaluated, in batch order.
+    pub fn failures(&self) -> &[MarketFailure] {
+        &self.failures
+    }
+
+    /// True when every market completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Optimal makespan of market `k`, or `None` if it was poisoned.
+    pub fn makespan_for(&self, k: usize) -> Option<f64> {
+        self.makespans.get(k).copied().flatten()
+    }
+
+    /// Payments of market `k`, or `None` if it was poisoned.
+    pub fn payments_for(&self, k: usize) -> Option<Vec<Payment>> {
+        let row = self.payments.get(k * self.m..(k + 1) * self.m)?;
+        row.iter().copied().collect()
+    }
+
+    /// Collapses to the strict all-or-nothing [`BatchOutcome`]: the first
+    /// poisoned market's error fails the whole batch.
+    pub fn into_outcome(self) -> Result<BatchOutcome, EngineError> {
+        let n = self.makespans.len();
+        if let Some(first) = self.failures.into_iter().next() {
+            return Err(first.error);
+        }
+        let makespans: Vec<f64> = self.makespans.into_iter().flatten().collect();
+        if makespans.len() != n {
+            return Err(EngineError::BatchIncomplete);
+        }
+        let payments: Vec<Payment> = self.payments.into_iter().flatten().collect();
+        if payments.len() != n * self.m {
+            return Err(EngineError::BatchIncomplete);
+        }
+        Ok(BatchOutcome {
+            m: self.m,
+            makespans,
+            payments,
+        })
+    }
+}
+
 /// Fans a [`BatchWorkload`] across scoped worker threads, one engine per
 /// worker.
 #[derive(Debug, Clone, Copy)]
@@ -156,24 +237,47 @@ impl BatchAuctioneer {
     /// Evaluates every market in the batch: optimal makespan plus DLS-BL
     /// payments under the recorded observed rates. Deterministic — results
     /// are in batch order and bit-identical to running each market through
-    /// its own [`AuctionEngine`] sequentially.
+    /// its own [`AuctionEngine`] sequentially. All-or-nothing: any poisoned
+    /// market fails the whole batch with its error (a worker panic
+    /// surfaces as [`EngineError::WorkerPanicked`], never an unwind).
     pub fn run(&self, work: &BatchWorkload) -> Result<BatchOutcome, EngineError> {
+        self.run_with(work, run_chunk).into_outcome()
+    }
+
+    /// Like [`BatchAuctioneer::run`], but degradation-tolerant: a worker
+    /// panic or error poisons only the markets of its chunk it had not
+    /// completed, every other market keeps its results, and the poisoned
+    /// ones are reported per-market in [`BatchReport::failures`].
+    pub fn run_contained(&self, work: &BatchWorkload) -> BatchReport {
+        self.run_with(work, run_chunk)
+    }
+
+    /// The shared fan-out core, parameterized over the chunk evaluator so
+    /// tests can inject a deliberately panicking worker.
+    fn run_with<F>(&self, work: &BatchWorkload, eval: F) -> BatchReport
+    where
+        F: Fn(&BatchWorkload, usize, &mut [Option<f64>], &mut [Option<Payment>]) -> Result<(), EngineError>
+            + Sync,
+    {
         let n = work.markets();
         let m = work.m;
         let mut makespans: Vec<Option<f64>> = vec![None; n];
         let mut payments: Vec<Option<Payment>> = vec![None; n * m];
         let threads = self.threads.min(n.max(1));
+        // `chunks_mut(chunk)` yields ceil(n/chunk) chunks, which is
+        // *fewer* than `threads` when n doesn't tile evenly (n=5,
+        // threads=4 -> chunk=2 -> 3 chunks), so status must be sized
+        // by the real chunk count or trailing slots stay None and every
+        // market reports a spurious BatchIncomplete.
+        let chunk = n.div_ceil(threads).max(1);
+        let chunks = n.div_ceil(chunk);
+        let mut status: Vec<Option<Result<(), EngineError>>> = vec![None; chunks];
         if threads <= 1 {
-            run_chunk(work, 0, &mut makespans, &mut payments)?;
+            if let Some(st) = status.first_mut() {
+                *st = Some(contain(|| eval(work, 0, &mut makespans, &mut payments)));
+            }
         } else {
-            let chunk = n.div_ceil(threads);
-            // `chunks_mut(chunk)` yields ceil(n/chunk) chunks, which is
-            // *fewer* than `threads` when n doesn't tile evenly (n=5,
-            // threads=4 -> chunk=2 -> 3 chunks), so status must be sized
-            // by the real chunk count or trailing slots stay None and the
-            // join loop reports a spurious BatchIncomplete.
-            let chunks = n.div_ceil(chunk);
-            let mut status: Vec<Option<Result<(), EngineError>>> = vec![None; chunks];
+            let eval = &eval;
             std::thread::scope(|s| {
                 let slots = makespans
                     .chunks_mut(chunk)
@@ -182,28 +286,53 @@ impl BatchAuctioneer {
                     .enumerate();
                 for (t, ((mk, pay), st)) in slots {
                     s.spawn(move || {
-                        *st = Some(run_chunk(work, t * chunk, mk, pay));
+                        *st = Some(contain(|| eval(work, t * chunk, mk, pay)));
                     });
                 }
             });
-            for st in status {
-                st.unwrap_or(Err(EngineError::BatchIncomplete))?;
+        }
+        // Per-market attribution: a market is complete iff its makespan
+        // and its whole payment row landed; anything else inherits its
+        // chunk's error (or BatchIncomplete for a silent hole) and has any
+        // partial row cleared so readers see all-or-nothing per market.
+        let mut failures = Vec::new();
+        for k in 0..n {
+            let whole = makespans.get(k).is_some_and(|s| s.is_some())
+                && payments
+                    .get(k * m..(k + 1) * m)
+                    .is_some_and(|row| row.iter().all(|p| p.is_some()));
+            if whole {
+                continue;
             }
+            let error = match status.get(k / chunk).cloned().flatten() {
+                Some(Err(e)) => e,
+                _ => EngineError::BatchIncomplete,
+            };
+            if let Some(slot) = makespans.get_mut(k) {
+                *slot = None;
+            }
+            if let Some(row) = payments.get_mut(k * m..(k + 1) * m) {
+                for p in row {
+                    *p = None;
+                }
+            }
+            failures.push(MarketFailure { market: k, error });
         }
-        let makespans: Vec<f64> = makespans.into_iter().flatten().collect();
-        if makespans.len() != n {
-            return Err(EngineError::BatchIncomplete);
-        }
-        let payments: Vec<Payment> = payments.into_iter().flatten().collect();
-        if payments.len() != n * m {
-            return Err(EngineError::BatchIncomplete);
-        }
-        Ok(BatchOutcome {
+        BatchReport {
             m,
             makespans,
             payments,
-        })
+            failures,
+        }
     }
+}
+
+/// Runs a chunk evaluator behind a panic barrier. A panic is converted to
+/// [`EngineError::WorkerPanicked`]; the `AssertUnwindSafe` is sound
+/// because the only state crossing the barrier is the chunk's `Option`
+/// result slots, which the caller treats as poisoned unless fully filled.
+fn contain(f: impl FnOnce() -> Result<(), EngineError>) -> Result<(), EngineError> {
+    std::panic::catch_unwind(AssertUnwindSafe(f)).unwrap_or(Err(EngineError::WorkerPanicked))
 }
 
 /// Evaluates the markets `start..start + mk.len()` into the given slots,
@@ -321,6 +450,94 @@ mod tests {
             let out = BatchAuctioneer::new(threads).run(&work).unwrap();
             assert_eq!(out, base, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn contained_run_matches_strict_run_when_healthy() {
+        let work = demo_workload(SystemModel::NcpNfe, 9);
+        let strict = BatchAuctioneer::new(3).run(&work).unwrap();
+        let report = BatchAuctioneer::new(3).run_contained(&work);
+        assert!(report.is_complete());
+        assert_eq!(report.markets(), 9);
+        for k in 0..9 {
+            assert_eq!(report.makespan_for(k), Some(strict.makespans[k]));
+            assert_eq!(
+                report.payments_for(k).unwrap(),
+                strict.payments_for(k).unwrap()
+            );
+        }
+        assert_eq!(report.into_outcome().unwrap(), strict);
+    }
+
+    /// The tentpole containment property: a worker that panics poisons
+    /// only the markets of its own chunk it had not completed. Injected
+    /// through the chunk-evaluator seam because the production
+    /// `run_chunk` is panic-free by the lint gate.
+    #[test]
+    fn panicking_worker_poisons_only_its_unfinished_markets() {
+        let work = demo_workload(SystemModel::NcpFe, 13);
+        let base = BatchAuctioneer::new(1).run(&work).unwrap();
+        let poison = 7usize;
+        let rigged = |w: &BatchWorkload,
+                      start: usize,
+                      mk: &mut [Option<f64>],
+                      pay: &mut [Option<Payment>]|
+         -> Result<(), EngineError> {
+            let m = w.m();
+            for off in 0..mk.len() {
+                let k = start + off;
+                if k == poison {
+                    panic!("rigged worker failure");
+                }
+                run_chunk(w, k, &mut mk[off..off + 1], &mut pay[off * m..(off + 1) * m])?;
+            }
+            Ok(())
+        };
+        // Silence the expected panic's default stderr backtrace.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let quad = BatchAuctioneer::new(4).run_with(&work, rigged);
+        let solo = BatchAuctioneer::new(1).run_with(&work, rigged);
+        std::panic::set_hook(hook);
+
+        // threads=4, chunk=4: markets 4..=7 share the rigged worker; 4, 5
+        // and 6 completed before the panic and survive, 7 alone poisons.
+        assert_eq!(
+            quad.failures(),
+            &[MarketFailure {
+                market: poison,
+                error: EngineError::WorkerPanicked,
+            }]
+        );
+        assert!(quad.makespan_for(poison).is_none());
+        assert!(quad.payments_for(poison).is_none());
+        for k in (0..13).filter(|&k| k != poison) {
+            assert_eq!(quad.makespan_for(k), Some(base.makespans[k]), "market {k}");
+            assert_eq!(
+                quad.payments_for(k).unwrap(),
+                base.payments_for(k).unwrap(),
+                "market {k}"
+            );
+        }
+        assert!(matches!(
+            quad.into_outcome(),
+            Err(EngineError::WorkerPanicked)
+        ));
+
+        // threads=1: a single chunk, so everything past the panic point is
+        // poisoned but the markets finished before it still survive.
+        for k in 0..poison {
+            assert_eq!(solo.makespan_for(k), Some(base.makespans[k]), "market {k}");
+        }
+        for k in poison..13 {
+            assert!(solo.makespan_for(k).is_none(), "market {k}");
+            assert!(solo.payments_for(k).is_none(), "market {k}");
+        }
+        assert_eq!(solo.failures().len(), 13 - poison);
+        assert!(solo
+            .failures()
+            .iter()
+            .all(|f| f.error == EngineError::WorkerPanicked));
     }
 
     #[test]

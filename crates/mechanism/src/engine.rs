@@ -65,6 +65,11 @@ pub enum EngineError {
     /// A batch worker terminated without filling its result slots — an
     /// internal invariant breach surfaced as an error instead of a panic.
     BatchIncomplete,
+    /// A batch worker panicked mid-chunk. The panic is caught at the chunk
+    /// boundary; only the markets the worker had not yet completed are
+    /// poisoned, and they report this error instead of unwinding the
+    /// caller.
+    WorkerPanicked,
 }
 
 impl fmt::Display for EngineError {
@@ -85,6 +90,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::BatchIncomplete => {
                 write!(f, "batch worker exited without completing its markets")
+            }
+            EngineError::WorkerPanicked => {
+                write!(f, "batch worker panicked; its unfinished markets are poisoned")
             }
         }
     }

@@ -60,7 +60,7 @@ pub mod exact;
 mod market;
 pub mod validate;
 
-pub use batch::{BatchAuctioneer, BatchOutcome, BatchWorkload};
+pub use batch::{BatchAuctioneer, BatchOutcome, BatchReport, BatchWorkload, MarketFailure};
 pub use engine::{AuctionEngine, EngineError, Evaluation};
 pub use market::{
     compute_payments, compute_payments_into, compute_payments_naive, AgentSpec, Market,

@@ -19,17 +19,49 @@ use std::fmt;
 pub enum MultiroundError {
     /// `rounds == 0` — no installments means no schedule to execute.
     ZeroRounds,
+    /// A fault names a processor outside `0..m`.
+    UnknownProcessor {
+        /// The offending index.
+        processor: usize,
+        /// Number of processors on the bus.
+        m: usize,
+    },
+    /// Every processor departed before round `round`; the remaining load
+    /// has no one left to run on.
+    AllDeparted {
+        /// First round with an empty participant set (0-based).
+        round: usize,
+    },
 }
 
 impl fmt::Display for MultiroundError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MultiroundError::ZeroRounds => write!(f, "at least one round is required"),
+            MultiroundError::UnknownProcessor { processor, m } => {
+                write!(f, "fault names processor {processor}, but the bus has m = {m}")
+            }
+            MultiroundError::AllDeparted { round } => {
+                write!(f, "all processors departed before round {round}")
+            }
         }
     }
 }
 
 impl std::error::Error for MultiroundError {}
+
+/// A liveness fault for the multi-round executor: `processor` departs at
+/// the start of round `round` (0-based) and takes no further
+/// installments. Mirrors the session runtime's crash/omission defaults
+/// (`dls-protocol`'s `FaultPlan`), projected onto the installment
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundFault {
+    /// Departing processor (0-based).
+    pub processor: usize,
+    /// First round it misses (0-based); a value `>= rounds` never fires.
+    pub round: usize,
+}
 
 /// Result of a multi-round execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,10 +70,15 @@ pub struct MultiroundResult {
     pub rounds: usize,
     /// Total execution time.
     pub makespan: f64,
-    /// Per-processor compute segments, one per round, in time order.
+    /// Per-processor compute segments, one per round while the processor
+    /// participates, in time order.
     pub compute: Vec<Vec<Segment>>,
     /// Bus segments `(recipient, round, segment)`.
     pub bus: Vec<(usize, usize, Segment)>,
+    /// Participant set of each round, ascending. Without faults every
+    /// round records the full roster; a round after a departure records
+    /// the reduced survivor set it actually re-solved over.
+    pub participants: Vec<Vec<usize>>,
 }
 
 impl MultiroundResult {
@@ -70,22 +107,67 @@ pub fn simulate_multiround(
     params: &BusParams,
     rounds: usize,
 ) -> Result<MultiroundResult, MultiroundError> {
+    simulate_multiround_faulty(params, rounds, &[])
+}
+
+/// [`simulate_multiround`] with per-round liveness faults. A departed
+/// processor takes no further installments; each subsequent round's `1/R`
+/// of the load is re-split with the single-round optimal fractions over
+/// the **survivor** sub-bus, and the round's reduced participant set is
+/// recorded in [`MultiroundResult::participants`]. With `faults` empty
+/// the result is bit-identical to the fault-free executor.
+///
+/// # Errors
+/// [`MultiroundError::ZeroRounds`] if `rounds == 0`;
+/// [`MultiroundError::UnknownProcessor`] if a fault names a processor
+/// outside the bus; [`MultiroundError::AllDeparted`] if some round is
+/// left with no participants.
+pub fn simulate_multiround_faulty(
+    params: &BusParams,
+    rounds: usize,
+    faults: &[RoundFault],
+) -> Result<MultiroundResult, MultiroundError> {
     if rounds == 0 {
         return Err(MultiroundError::ZeroRounds);
     }
     let m = params.m();
     let z = params.z();
     let w = params.w();
-    let alpha = optimal::fractions(SystemModel::Cp, params);
+    for f in faults {
+        if f.processor >= m {
+            return Err(MultiroundError::UnknownProcessor {
+                processor: f.processor,
+                m,
+            });
+        }
+    }
 
     let mut bus_free = 0.0;
     let mut proc_free = vec![0.0; m];
     let mut compute: Vec<Vec<Segment>> = vec![Vec::with_capacity(rounds); m];
     let mut bus = Vec::with_capacity(rounds * m);
+    let mut participants: Vec<Vec<usize>> = Vec::with_capacity(rounds);
+    // Survivor fractions, re-solved only when the participant set shrinks.
+    let mut cached: Option<(Vec<usize>, Vec<f64>)> = None;
 
     for r in 0..rounds {
-        for i in 0..m {
-            let chunk = alpha[i] / rounds as f64;
+        let alive: Vec<usize> = (0..m)
+            .filter(|&i| !faults.iter().any(|f| f.processor == i && f.round <= r))
+            .collect();
+        if alive.is_empty() {
+            return Err(MultiroundError::AllDeparted { round: r });
+        }
+        let stale = cached.as_ref().map_or(true, |(set, _)| *set != alive);
+        if stale {
+            let sub_w: Vec<f64> = alive.iter().map(|&i| w[i]).collect();
+            let sub = BusParams::new(z, sub_w)
+                .map_err(|_| MultiroundError::AllDeparted { round: r })?;
+            let alpha = optimal::fractions(SystemModel::Cp, &sub);
+            cached = Some((alive.clone(), alpha));
+        }
+        let alpha = cached.as_ref().map_or(&[] as &[f64], |(_, a)| a.as_slice());
+        for (pos, &i) in alive.iter().enumerate() {
+            let chunk = alpha.get(pos).copied().unwrap_or(0.0) / rounds as f64;
             if chunk <= 0.0 {
                 continue;
             }
@@ -100,6 +182,7 @@ pub fn simulate_multiround(
             compute[i].push(Segment { start: c_start, end: c_end });
             proc_free[i] = c_end;
         }
+        participants.push(alive);
     }
 
     let makespan = proc_free.iter().cloned().fold(0.0f64, f64::max);
@@ -108,6 +191,7 @@ pub fn simulate_multiround(
         makespan,
         compute,
         bus,
+        participants,
     })
 }
 
@@ -191,6 +275,93 @@ mod tests {
             MultiroundError::ZeroRounds.to_string(),
             "at least one round is required"
         );
+    }
+
+    #[test]
+    fn faultless_run_records_full_roster_each_round() {
+        let res = simulate_multiround(&params(), 3).unwrap();
+        assert_eq!(res.participants.len(), 3);
+        for round in &res.participants {
+            assert_eq!(round, &vec![0, 1, 2, 3, 4]);
+        }
+        // The wrapper is literally the faulty executor with no faults.
+        let faulty = simulate_multiround_faulty(&params(), 3, &[]).unwrap();
+        assert_eq!(res, faulty);
+    }
+
+    #[test]
+    fn departed_processor_takes_no_further_installments() {
+        let p = params();
+        let fault = RoundFault {
+            processor: 2,
+            round: 2,
+        };
+        let res = simulate_multiround_faulty(&p, 4, &[fault]).unwrap();
+        assert_eq!(res.compute[2].len(), 2, "two rounds before departure");
+        for (k, round) in res.participants.iter().enumerate() {
+            if k < 2 {
+                assert_eq!(round, &vec![0, 1, 2, 3, 4], "round {k}");
+            } else {
+                assert_eq!(round, &vec![0, 1, 3, 4], "round {k}");
+            }
+        }
+        assert!(res
+            .bus
+            .iter()
+            .all(|&(i, r, _)| i != 2 || r < 2), "no transfers to the departed");
+        // Survivors keep executing in every round.
+        for i in [0usize, 1, 3, 4] {
+            assert_eq!(res.compute[i].len(), 4, "processor {i}");
+        }
+    }
+
+    #[test]
+    fn survivor_rounds_resolve_over_the_reduced_bus() {
+        let p = params();
+        let fault = RoundFault {
+            processor: 0,
+            round: 1,
+        };
+        let res = simulate_multiround_faulty(&p, 3, &[fault]).unwrap();
+        // Rounds 1.. split 1/R of the load with the optimal fractions of
+        // the 4-survivor sub-bus, visible in the bus transfer durations.
+        let sub = BusParams::new(0.3, vec![1.5, 2.0, 2.5, 3.0]).unwrap();
+        let sub_alpha = optimal::fractions(SystemModel::Cp, &sub);
+        for &(i, r, ref seg) in &res.bus {
+            if r == 0 {
+                continue;
+            }
+            let pos = [1usize, 2, 3, 4]
+                .iter()
+                .position(|&s| s == i)
+                .expect("only survivors transfer");
+            let want = sub_alpha[pos] / 3.0 * 0.3;
+            assert!(
+                (seg.duration() - want).abs() <= 1e-12,
+                "round {r} processor {i}: {} vs {want}",
+                seg.duration()
+            );
+        }
+    }
+
+    #[test]
+    fn fault_validation() {
+        let p = params();
+        assert_eq!(
+            simulate_multiround_faulty(&p, 2, &[RoundFault { processor: 9, round: 0 }]),
+            Err(MultiroundError::UnknownProcessor { processor: 9, m: 5 })
+        );
+        let everyone: Vec<RoundFault> = (0..5)
+            .map(|processor| RoundFault { processor, round: 1 })
+            .collect();
+        assert_eq!(
+            simulate_multiround_faulty(&p, 3, &everyone),
+            Err(MultiroundError::AllDeparted { round: 1 })
+        );
+        // A fault scheduled past the last round never fires.
+        let late = [RoundFault { processor: 0, round: 7 }];
+        let res = simulate_multiround_faulty(&p, 3, &late).unwrap();
+        assert_eq!(res, simulate_multiround(&p, 3).unwrap());
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Session and per-processor configuration, including the catalogue of
-//! deviant behaviours used by the compliance experiments (E8/E9).
+//! deviant behaviours used by the compliance experiments (E8/E9) and the
+//! orthogonal liveness-fault plans used by the chaos suite.
 
+use crate::fault::FaultPlan;
 use dls_dlt::{BusParams, ParamError, SystemModel};
 use std::fmt;
+
+/// Default per-phase wall-clock budget (milliseconds): generous enough
+/// that signing, block splitting and honest stragglers never trip it,
+/// small enough that a crashed participant is detected promptly.
+pub const DEFAULT_PHASE_BUDGET_MS: u64 = 5_000;
 
 /// How a strategic processor plays the protocol. Every variant other than
 /// [`Behavior::Compliant`] models one of the offences enumerated at the end
@@ -109,19 +116,34 @@ impl fmt::Display for Behavior {
     }
 }
 
-/// One processor: its private type and its strategy.
+/// One processor: its private type, its strategy, and its liveness-fault
+/// plan (orthogonal axes — a processor can be strategically compliant yet
+/// crash, or deviant yet perfectly live).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessorConfig {
     /// True unit-processing time `w_i`.
     pub true_w: f64,
     /// Strategy.
     pub behavior: Behavior,
+    /// Liveness-fault injection plan ([`FaultPlan::None`] for a live
+    /// processor).
+    pub fault: FaultPlan,
 }
 
 impl ProcessorConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (no fault).
     pub fn new(true_w: f64, behavior: Behavior) -> Self {
-        ProcessorConfig { true_w, behavior }
+        ProcessorConfig {
+            true_w,
+            behavior,
+            fault: FaultPlan::None,
+        }
+    }
+
+    /// Attaches a liveness-fault plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// The bid this processor will (first) broadcast, or `None` if it does
@@ -172,6 +194,16 @@ pub enum ConfigError {
     },
     /// Zero blocks configured.
     NoBlocks,
+    /// The per-phase wall-clock budget is zero — every barrier wait
+    /// would instantly expire.
+    ZeroPhaseBudget,
+    /// A [`FaultPlan::DelayAt`] sleeps past the phase budget, which
+    /// makes the "tolerated straggler" plan indistinguishable from a
+    /// crash; configure a crash if that is the intent.
+    DelayExceedsBudget {
+        /// Offending processor.
+        processor: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -192,6 +224,13 @@ impl fmt::Display for ConfigError {
                 write!(f, "processor {processor}: invalid strategy parameter")
             }
             ConfigError::NoBlocks => write!(f, "the load must have at least one block"),
+            ConfigError::ZeroPhaseBudget => {
+                write!(f, "the phase budget must be at least one millisecond")
+            }
+            ConfigError::DelayExceedsBudget { processor } => write!(
+                f,
+                "processor {processor}: DelayAt sleeps past the phase budget (use CrashAt)"
+            ),
         }
     }
 }
@@ -223,6 +262,12 @@ pub struct SessionConfig {
     pub key_bits: usize,
     /// Deterministic seed for key generation and any tie-breaking.
     pub seed: u64,
+    /// Wall-clock budget per protocol phase, in milliseconds. The
+    /// referee's barrier waits are bounded by this budget; a processor
+    /// that has not arrived when it expires is declared defaulted
+    /// instead of hanging the session. Delays below the budget are
+    /// tolerated stragglers.
+    pub phase_budget_ms: u64,
 }
 
 impl SessionConfig {
@@ -237,6 +282,7 @@ impl SessionConfig {
             blocks: 60,
             key_bits: dls_crypto::rsa::MIN_MODULUS_BITS,
             seed: 0,
+            phase_budget_ms: DEFAULT_PHASE_BUDGET_MS,
         }
     }
 
@@ -260,9 +306,13 @@ impl SessionConfig {
 
     /// The deterrence lower bound on the fine: `Σ_j α_j(b)·b_j` evaluated
     /// at the bids (the paper states `F ≥ Σ α_j w_j`; only bids are public
-    /// when `F` is announced).
+    /// when `F` is announced). Built configs always carry a valid bid
+    /// vector; a hand-assembled one with degenerate bids gets `+∞` — no
+    /// fine is admissible for a market that cannot be solved.
     pub fn fine_bound(&self) -> f64 {
-        let params = BusParams::new(self.z, self.bids()).expect("validated");
+        let Ok(params) = BusParams::new(self.z, self.bids()) else {
+            return f64::INFINITY;
+        };
         let alpha = dls_dlt::optimal::fractions(self.model, &params);
         alpha
             .iter()
@@ -282,6 +332,7 @@ pub struct SessionConfigBuilder {
     blocks: usize,
     key_bits: usize,
     seed: u64,
+    phase_budget_ms: u64,
 }
 
 impl SessionConfigBuilder {
@@ -322,6 +373,13 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Sets the per-phase wall-clock budget in milliseconds (validated
+    /// non-zero at `build`).
+    pub fn phase_budget_ms(mut self, ms: u64) -> Self {
+        self.phase_budget_ms = ms;
+        self
+    }
+
     /// Validates and builds.
     pub fn build(self) -> Result<SessionConfig, ConfigError> {
         let m = self.processors.len();
@@ -331,7 +389,15 @@ impl SessionConfigBuilder {
         if self.blocks == 0 {
             return Err(ConfigError::NoBlocks);
         }
+        if self.phase_budget_ms == 0 {
+            return Err(ConfigError::ZeroPhaseBudget);
+        }
         for (processor, p) in self.processors.iter().enumerate() {
+            if let FaultPlan::DelayAt(_, ms) = p.fault {
+                if ms >= self.phase_budget_ms {
+                    return Err(ConfigError::DelayExceedsBudget { processor });
+                }
+            }
             if !p.true_w.is_finite() || p.true_w <= 0.0 {
                 return Err(ConfigError::BadStrategy { processor });
             }
@@ -389,6 +455,7 @@ impl SessionConfigBuilder {
             blocks: self.blocks,
             key_bits: self.key_bits,
             seed: self.seed,
+            phase_budget_ms: self.phase_budget_ms,
         };
         // Validate the bid vector as DLT parameters.
         let _ = BusParams::new(cfg.z, cfg.bids())?;
@@ -499,6 +566,44 @@ mod tests {
         assert!(!Behavior::Slack { factor: 2.0 }.is_finable_offence());
         assert!(Behavior::EquivocateBids { factor: 2.0 }.is_finable_offence());
         assert!(Behavior::FalselyAccuseAllocation.is_finable_offence());
+    }
+
+    #[test]
+    fn fault_plans_validated_against_budget() {
+        use crate::referee::Phase;
+        let err = SessionConfig::builder(SystemModel::NcpFe, 0.2)
+            .processors(three_compliant())
+            .phase_budget_ms(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPhaseBudget);
+
+        let mut slow = three_compliant();
+        slow[1] = slow[1].with_fault(FaultPlan::DelayAt(Phase::Bidding, 500));
+        let err = SessionConfig::builder(SystemModel::NcpFe, 0.2)
+            .processors(slow.clone())
+            .phase_budget_ms(500)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DelayExceedsBudget { processor: 1 });
+        // A delay strictly below the budget is a tolerated straggler.
+        let cfg = SessionConfig::builder(SystemModel::NcpFe, 0.2)
+            .processors(slow)
+            .phase_budget_ms(501)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.phase_budget_ms, 501);
+        assert_eq!(
+            cfg.processors[1].fault,
+            FaultPlan::DelayAt(Phase::Bidding, 500)
+        );
+        // Defaults: no fault, the documented budget.
+        assert_eq!(cfg.processors[0].fault, FaultPlan::None);
+        let plain = SessionConfig::builder(SystemModel::NcpFe, 0.2)
+            .processors(three_compliant())
+            .build()
+            .unwrap();
+        assert_eq!(plain.phase_budget_ms, DEFAULT_PHASE_BUDGET_MS);
     }
 
     #[test]

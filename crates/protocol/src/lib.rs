@@ -42,6 +42,11 @@
 //!   distribution (Lemmas 5.1–5.2, Theorem 5.1).
 //! * [`ledger`] — conservation-checked accounting of payments, fines and
 //!   rewards.
+//! * [`fault`] — liveness faults the paper assumes away: per-processor
+//!   crash/omission/delay/garbage injection plans, deadline-bounded phase
+//!   detection, and the per-session [`fault::DegradationReport`]. A
+//!   defaulted participant is fined and re-solved around instead of
+//!   stranding its peers at a phase barrier.
 //!
 //! ```no_run
 //! use dls_protocol::config::{Behavior, ProcessorConfig, SessionConfig};
@@ -64,10 +69,15 @@
 pub mod blocks;
 pub mod centralized;
 pub mod config;
+pub mod fault;
 pub mod ledger;
 pub mod messages;
 pub mod referee;
 pub mod runtime;
 
 pub use config::{Behavior, ProcessorConfig, SessionConfig};
-pub use runtime::{run_session, SessionOutcome, SessionStatus};
+pub use fault::{DegradationReport, FaultKind, FaultPlan, LivenessFault};
+pub use runtime::{
+    run_session, ActorRole, ProtocolViolation, RunError, SessionOutcome, SessionStatus,
+    ViolationKind,
+};

@@ -129,6 +129,15 @@ pub enum Msg {
     },
     /// Referee verdict broadcast after each phase.
     Verdict(Verdict),
+    /// A syntactically invalid payload (failed deserialization / garbage
+    /// signature envelope). Receivers drop it at receipt, exactly like a
+    /// message that fails verification (§4); the referee additionally
+    /// remembers who sent it so a garbage fault is classified as such
+    /// rather than as plain silence.
+    Garbage {
+        /// Claimed sender.
+        from: usize,
+    },
 }
 
 impl Msg {
@@ -167,6 +176,8 @@ impl Msg {
                 },
             },
             Msg::Verdict(v) => 16 + 16 * (v.fined.len() + v.rewards.len()),
+            // An opaque blob the size of a small signed frame.
+            Msg::Garbage { .. } => 48,
         }
     }
 
@@ -180,6 +191,7 @@ impl Msg {
             Msg::BidRequest | Msg::BidView { .. } => MsgCategory::Control,
             Msg::Report { .. } => MsgCategory::Control,
             Msg::Verdict(_) => MsgCategory::Control,
+            Msg::Garbage { .. } => MsgCategory::Control,
         }
     }
 }

@@ -33,7 +33,21 @@ pub enum Phase {
 /// All honest processors run the identical deterministic computation, so
 /// honest disagreement is at most a few ULPs; anything beyond this is a
 /// corrupted vector.
+///
+/// The tolerance is **relative**: a payment difference is accepted when it
+/// is within `PAYMENT_TOLERANCE × max(1, |a|, |b|)` (see
+/// [`payments_agree`]). An absolute `1e-9` cut-off breaks at large
+/// `w`/`z`, where honest payments reach `1e9` and beyond and a few ULPs
+/// of float noise already exceed it; scaling by the magnitude keeps the
+/// check ULP-tight at every scale while remaining absolute (`1e-9`)
+/// around zero.
 pub const PAYMENT_TOLERANCE: f64 = 1e-9;
+
+/// `true` when two independently computed payment values agree within the
+/// magnitude-scaled [`PAYMENT_TOLERANCE`].
+pub fn payments_agree(a: f64, b: f64) -> bool {
+    (a - b).abs() <= PAYMENT_TOLERANCE * 1f64.max(a.abs()).max(b.abs())
+}
 
 /// Errors the referee can surface instead of panicking mid-adjudication.
 ///
@@ -118,7 +132,11 @@ impl Referee {
     /// Builds the verdict for a set of deviants at a phase boundary:
     /// each deviant pays `F`; the pot `x·F` is split evenly among the
     /// `m − x` non-deviants; the protocol terminates iff `abort`.
-    fn verdict_for(&self, deviants: &BTreeSet<usize>, abort: bool) -> Verdict {
+    ///
+    /// `pub(crate)` so the runtime can apply the same fine schedule to
+    /// liveness defaulters (crash/omission faults produce no evidence a
+    /// processor could submit, so the runtime reports them directly).
+    pub(crate) fn verdict_for(&self, deviants: &BTreeSet<usize>, abort: bool) -> Verdict {
         if deviants.is_empty() {
             return Verdict::ok();
         }
@@ -329,8 +347,8 @@ impl Referee {
             *prev = true;
             let ok = body.q.len() == correct.len()
                 && body.q.iter().zip(&correct).all(|(a, b)| {
-                    (a.compensation - b.compensation).abs() <= PAYMENT_TOLERANCE
-                        && (a.bonus - b.bonus).abs() <= PAYMENT_TOLERANCE
+                    payments_agree(a.compensation, b.compensation)
+                        && payments_agree(a.bonus, b.bonus)
                 });
             if !ok {
                 deviants.insert(body.processor);
@@ -769,5 +787,84 @@ mod tests {
         assert_eq!(fined, 20.0);
         assert_eq!(rewarded, 20.0);
         assert_eq!(v.rewards, vec![(2, 20.0)]);
+    }
+
+    #[test]
+    fn payment_tolerance_scales_with_magnitude() {
+        // Unit behaviour of the relative comparison: absolute 1e-9 around
+        // zero, relative 1e-9 at scale.
+        assert!(payments_agree(0.0, 5e-10));
+        assert!(!payments_agree(0.0, 5e-9));
+        assert!(payments_agree(1e12, 1e12 + 100.0));
+        assert!(!payments_agree(1e12, 1.001e12));
+
+        // Regression at large w/z: honest payments land far above 1e9,
+        // where a few ULPs of float noise already exceed an absolute
+        // 1e-9 cut-off. The scaled tolerance must accept ULP-level
+        // relative noise and still fine a genuine corruption.
+        let mut rng = StdRng::seed_from_u64(29);
+        let keys: Vec<KeyPair> = (0..3)
+            .map(|i| {
+                KeyPair::generate(format!("P{}", i + 1), MIN_MODULUS_BITS, &mut rng).unwrap()
+            })
+            .collect();
+        let user = KeyPair::generate(USER_IDENTITY, MIN_MODULUS_BITS, &mut rng).unwrap();
+        let registry = Registry::from_keypairs(keys.iter().chain(std::iter::once(&user)));
+        let bids = vec![1.0e10, 2.0e10, 3.0e10];
+        let z = 2.0e9;
+        let referee = Referee::new(registry, SystemModel::NcpFe, z, 3, 1.0e15, BLOCKS);
+        let params = BusParams::new(z, bids.clone()).unwrap();
+        let alpha = dls_dlt::optimal::fractions(SystemModel::NcpFe, &params);
+        let correct: Vec<PaymentEntry> =
+            dls_mechanism::compute_payments(SystemModel::NcpFe, &params, &alpha, &bids)
+                .into_iter()
+                .map(|p| PaymentEntry {
+                    compensation: p.compensation,
+                    bonus: p.bonus,
+                })
+                .collect();
+        assert!(
+            correct.iter().any(|e| e.total().abs() > 1.0e9),
+            "fixture must exercise the large-magnitude regime: {correct:?}"
+        );
+        // Relative noise ~1e-12 (a few ULPs of a long float pipeline) is
+        // absolute noise ~1e-3 here — fatal under the old absolute check.
+        let noisy: Vec<PaymentEntry> = correct
+            .iter()
+            .map(|e| PaymentEntry {
+                compensation: e.compensation * (1.0 + 1e-12),
+                bonus: e.bonus * (1.0 + 1e-12),
+            })
+            .collect();
+        let sign_all = |qs: [&Vec<PaymentEntry>; 3]| -> Vec<Signed<PaymentVectorBody>> {
+            qs.iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    keys[i]
+                        .sign(PaymentVectorBody {
+                            processor: i,
+                            q: (*q).clone(),
+                        })
+                        .unwrap()
+                })
+                .collect()
+        };
+        let (verdict, _) = referee
+            .adjudicate_payments(&sign_all([&noisy, &noisy, &noisy]), &bids, &bids)
+            .unwrap();
+        assert!(
+            verdict.fined.is_empty(),
+            "ULP-level noise at scale must not be fined: {:?}",
+            verdict.fined
+        );
+
+        // A genuine corruption at the same scale is still caught.
+        let mut corrupt = noisy.clone();
+        corrupt[0].compensation *= 1.001;
+        let (verdict, _) = referee
+            .adjudicate_payments(&sign_all([&noisy, &corrupt, &noisy]), &bids, &bids)
+            .unwrap();
+        assert_eq!(verdict.fined.len(), 1);
+        assert_eq!(verdict.fined[0].0, 1);
     }
 }

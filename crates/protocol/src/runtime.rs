@@ -22,9 +22,26 @@
 //! (twice, for equivocators), how many blocks to grant, what payment
 //! vector to submit, and whether to raise false accusations. Everything
 //! else — signatures, meters, transport — is outside agent control.
+//!
+//! ## Liveness faults and degradation
+//!
+//! The paper assumes every processor shows up at every phase. This runtime
+//! drops that assumption: each processor carries a [`FaultPlan`]
+//! (crash/mute/delay/garbage, orthogonal to its strategy), and only the
+//! **referee** waits at barriers with a wall-clock deadline
+//! ([`crate::config::SessionConfig::phase_budget_ms`]). A party missing at
+//! the deadline is removed from the barrier — the survivors advance
+//! instead of hanging — and recorded as a [`LivenessFault`]. Faults
+//! detected before Processing default the absentee (fined `F` per the §4
+//! schedule) and the survivors re-run the session over the remaining bid
+//! set; faults during/after Processing complete degraded (meter hole,
+//! missing payment vector fined by the ordinary payment adjudication,
+//! payment withheld). Every session reports what happened in
+//! [`SessionOutcome::degradation`].
 
 use crate::blocks::{integer_allocation, DataSet, USER_IDENTITY};
 use crate::config::{Behavior, ProcessorConfig, SessionConfig};
+use crate::fault::{DegradationReport, FaultKind, FaultPlan, LivenessFault};
 use crate::ledger::{Account, Ledger, TransferReason};
 use crate::messages::{
     BidBody, Evidence, GrantBody, Msg, MsgCategory, PaymentEntry, PaymentVectorBody, PhaseReport,
@@ -39,9 +56,138 @@ use dls_netsim::{simulate, SessionSpec as NetSessionSpec, Timeline};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which actor a failure is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorRole {
+    /// An unidentified actor (failure observed by a drop guard).
+    Actor,
+    /// A strategic processor thread.
+    Processor,
+    /// The referee thread.
+    Referee,
+}
+
+/// What kind of lock-step invariant broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// An expected message was missing at a phase boundary.
+    MissingMessage(&'static str),
+    /// An actor thread panicked (e.g. in a dependency).
+    ActorPanicked(ActorRole),
+    /// A runtime invariant broke: an internal index was out of range, a
+    /// value that was validated upstream turned out invalid, or an
+    /// adjudication step could not run.
+    InvalidState(String),
+    /// The party was declared defaulted at a deadline and must stop
+    /// participating (surfaced only inside actor threads; a defaulted
+    /// party's session result is a partial outcome, not this error).
+    Defaulted,
+    /// Liveness defaults left fewer than the two live processors the
+    /// protocol needs.
+    QuorumLost {
+        /// How many live processors remained.
+        survivors: usize,
+    },
+}
+
+/// A structured protocol-runtime violation: *what* broke
+/// ([`ViolationKind`]), and — when known — *where* ([`Phase`]) and *who*
+/// (processor index).
+///
+/// [`fmt::Display`] prints only the kind's message (identical to the
+/// historical stringly-typed errors); phase and processor are structured
+/// context for programmatic matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolViolation {
+    /// Phase at which the violation surfaced, if known.
+    pub phase: Option<Phase>,
+    /// Processor the violation is attributed to, if any.
+    pub processor: Option<usize>,
+    /// What broke.
+    pub kind: ViolationKind,
+}
+
+impl ProtocolViolation {
+    /// An invalid-state violation with a free-form description.
+    pub fn invalid_state(msg: impl Into<String>) -> Self {
+        ProtocolViolation {
+            phase: None,
+            processor: None,
+            kind: ViolationKind::InvalidState(msg.into()),
+        }
+    }
+
+    /// A missing-message violation (`what` names the expected message).
+    pub fn missing_message(what: &'static str) -> Self {
+        ProtocolViolation {
+            phase: None,
+            processor: None,
+            kind: ViolationKind::MissingMessage(what),
+        }
+    }
+
+    /// A panicked-actor violation.
+    pub fn panicked(role: ActorRole) -> Self {
+        ProtocolViolation {
+            phase: None,
+            processor: None,
+            kind: ViolationKind::ActorPanicked(role),
+        }
+    }
+
+    /// A quorum-lost violation.
+    pub fn quorum_lost(survivors: usize) -> Self {
+        ProtocolViolation {
+            phase: None,
+            processor: None,
+            kind: ViolationKind::QuorumLost { survivors },
+        }
+    }
+
+    /// Attaches the phase the violation surfaced at.
+    pub fn at_phase(mut self, phase: Phase) -> Self {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Attaches the processor the violation is attributed to.
+    pub fn by_processor(mut self, processor: usize) -> Self {
+        self.processor = Some(processor);
+        self
+    }
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::MissingMessage(what) => {
+                write!(f, "expected {what} missing at phase boundary")
+            }
+            ViolationKind::ActorPanicked(ActorRole::Actor) => {
+                write!(f, "an actor thread panicked")
+            }
+            ViolationKind::ActorPanicked(ActorRole::Processor) => {
+                write!(f, "a processor thread panicked")
+            }
+            ViolationKind::ActorPanicked(ActorRole::Referee) => {
+                write!(f, "the referee thread panicked")
+            }
+            ViolationKind::InvalidState(msg) => write!(f, "{msg}"),
+            ViolationKind::Defaulted => {
+                write!(f, "party declared defaulted at a phase deadline")
+            }
+            ViolationKind::QuorumLost { survivors } => write!(
+                f,
+                "liveness defaults left {survivors} live processor(s), below the required two"
+            ),
+        }
+    }
+}
 
 /// Errors when running a session.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +203,7 @@ pub enum RunError {
     /// missing at a phase boundary, an internal index was out of range, or
     /// an actor thread failed. Sessions surface this instead of panicking
     /// (a panicking actor would strand its peers at the next barrier).
-    Protocol(String),
+    Protocol(ProtocolViolation),
 }
 
 impl fmt::Display for RunError {
@@ -71,7 +217,7 @@ impl fmt::Display for RunError {
                 "the NCP protocol runs on NCP-FE / NCP-NFE; CP has a trusted control processor"
             ),
             RunError::Crypto(e) => write!(f, "crypto setup failed: {e}"),
-            RunError::Protocol(e) => write!(f, "protocol runtime failure: {e}"),
+            RunError::Protocol(v) => write!(f, "protocol runtime failure: {v}"),
         }
     }
 }
@@ -79,8 +225,23 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// A missing-message error at a lock-step phase boundary.
-fn missing(what: &str) -> RunError {
-    RunError::Protocol(format!("expected {what} missing at phase boundary"))
+fn missing(what: &'static str, phase: Phase) -> RunError {
+    RunError::Protocol(ProtocolViolation::missing_message(what).at_phase(phase))
+}
+
+/// The violation carried by an error, for propagating through a barrier
+/// abort (non-protocol errors degrade to an invalid-state description).
+fn violation_of(e: &RunError) -> ProtocolViolation {
+    match e {
+        RunError::Protocol(v) => v.clone(),
+        other => ProtocolViolation::invalid_state(other.to_string()),
+    }
+}
+
+/// `true` when the error is the defaulted-party signal a removed zombie
+/// thread receives; it terminates that thread without failing the round.
+fn is_defaulted(e: &RunError) -> bool {
+    matches!(e, RunError::Protocol(v) if v.kind == ViolationKind::Defaulted)
 }
 
 /// Per-category message accounting.
@@ -108,6 +269,16 @@ impl MessageStats {
         self.record(category, copies, bytes_each);
     }
 
+    /// Accumulates another stats block into this one (used to total the
+    /// traffic of a multi-round degraded session).
+    fn merge(&mut self, other: &MessageStats) {
+        for (key, (copies, bytes)) in &other.counts {
+            let e = self.counts.entry(key).or_insert((0, 0));
+            e.0 += copies;
+            e.1 += bytes;
+        }
+    }
+
     /// `(message count, total bytes)` for a category key
     /// (`"bid"`, `"grant"`, `"payment-vector"`, `"control"`).
     pub fn category(&self, key: &str) -> (u64, u64) {
@@ -130,7 +301,8 @@ impl MessageStats {
 pub enum SessionStatus {
     /// All phases completed, no fines.
     Completed,
-    /// The work completed but payment-phase deviants were fined.
+    /// The work completed but deviants (or liveness defaulters) were fined
+    /// along the way.
     CompletedWithFines,
     /// The protocol terminated early at `phase` because fines were raised.
     Aborted {
@@ -156,7 +328,8 @@ pub struct ProcessorOutcome {
     /// Tamper-proof meter reading `φ_i` (0 unless processing ran).
     pub meter: f64,
     /// Final payment entry from the forwarded vector `Q`, if the session
-    /// reached payments.
+    /// reached payments and the entry was not withheld for a
+    /// during-/after-Processing liveness default.
     pub payment: Option<PaymentEntry>,
     /// Total fines paid.
     pub fined: f64,
@@ -177,7 +350,8 @@ pub struct SessionOutcome {
     pub processors: Vec<ProcessorOutcome>,
     /// The fine `F` in force.
     pub fine: f64,
-    /// Message accounting.
+    /// Message accounting (totalled across every round of a degraded
+    /// session).
     pub messages: MessageStats,
     /// Conservation-checked money movements.
     pub ledger: Ledger,
@@ -185,6 +359,9 @@ pub struct SessionOutcome {
     pub timeline: Option<Timeline>,
     /// Realized makespan (only when processing ran).
     pub makespan: Option<f64>,
+    /// Liveness faults observed and how the session degraded around them
+    /// ([`DegradationReport::is_clean`] for a fault-free session).
+    pub degradation: DegradationReport,
 }
 
 impl SessionOutcome {
@@ -264,50 +441,85 @@ impl Net {
     }
 }
 
-/// A reusable phase barrier that can be aborted.
+/// A reusable phase barrier with per-party identity, abort, and
+/// deadline-bounded waits.
 ///
 /// `std::sync::Barrier` deadlocks the whole session if one actor exits
-/// early (error or panic): everyone else parks at the next boundary with
-/// one party missing, forever. This barrier adds [`PhaseBarrier::abort`],
-/// which wakes every current and future waiter with the abort reason so
-/// all actors unwind cleanly instead.
+/// early (error, panic, or injected crash): everyone else parks at the
+/// next boundary with one party missing, forever. This barrier adds:
+///
+/// * [`PhaseBarrier::abort`] — wakes every current and future waiter with
+///   the abort violation so all actors unwind cleanly;
+/// * [`PhaseBarrier::wait_deadline_as`] — a wall-clock-bounded wait that,
+///   on expiry, **removes** every still-missing party from the barrier
+///   and reports them, so survivors advance instead of hanging. Only the
+///   referee waits with a deadline; processors wait indefinitely and are
+///   released when the referee removes the dead.
 struct PhaseBarrier {
     state: Mutex<BarrierState>,
     cvar: Condvar,
-    parties: usize,
 }
 
 struct BarrierState {
-    arrived: usize,
+    /// Parties still participating in the barrier.
+    active: Vec<bool>,
+    /// Arrival flags for the current generation.
+    arrived: Vec<bool>,
     generation: u64,
-    aborted: Option<String>,
+    aborted: Option<ProtocolViolation>,
 }
 
 impl PhaseBarrier {
     fn new(parties: usize) -> Self {
         PhaseBarrier {
             state: Mutex::new(BarrierState {
-                arrived: 0,
+                active: vec![true; parties],
+                arrived: vec![false; parties],
                 generation: 0,
                 aborted: None,
             }),
             cvar: Condvar::new(),
-            parties,
         }
     }
 
-    /// Blocks until all parties arrive (Ok) or the session is aborted
-    /// (Err carrying the first abort reason).
-    fn wait(&self) -> Result<(), RunError> {
-        let mut st = self.state.lock();
-        if let Some(reason) = &st.aborted {
-            return Err(RunError::Protocol(reason.clone()));
+    /// Completes the current generation if every active party has arrived:
+    /// resets arrival flags, bumps the generation, wakes all waiters.
+    fn release_if_complete(st: &mut BarrierState, cvar: &Condvar) -> bool {
+        let complete = st
+            .active
+            .iter()
+            .zip(&st.arrived)
+            .all(|(active, arrived)| !*active || *arrived);
+        if complete {
+            for a in &mut st.arrived {
+                *a = false;
+            }
+            st.generation = st.generation.wrapping_add(1);
+            cvar.notify_all();
         }
-        st.arrived += 1;
-        if st.arrived == self.parties {
-            st.arrived = 0;
-            st.generation += 1;
-            self.cvar.notify_all();
+        complete
+    }
+
+    /// Blocks until all active parties arrive (Ok) or the session is
+    /// aborted (Err carrying the first abort violation). A party that was
+    /// removed at a deadline gets [`ViolationKind::Defaulted`], which its
+    /// thread treats as "stop participating", not as a session failure.
+    fn wait_as(&self, id: usize) -> Result<(), RunError> {
+        let mut st = self.state.lock();
+        if let Some(v) = &st.aborted {
+            return Err(RunError::Protocol(v.clone()));
+        }
+        if !st.active.get(id).copied().unwrap_or(false) {
+            return Err(RunError::Protocol(ProtocolViolation {
+                phase: None,
+                processor: Some(id),
+                kind: ViolationKind::Defaulted,
+            }));
+        }
+        if let Some(slot) = st.arrived.get_mut(id) {
+            *slot = true;
+        }
+        if Self::release_if_complete(&mut st, &self.cvar) {
             return Ok(());
         }
         let generation = st.generation;
@@ -315,16 +527,66 @@ impl PhaseBarrier {
             self.cvar.wait(&mut st);
         }
         match &st.aborted {
-            Some(reason) => Err(RunError::Protocol(reason.clone())),
+            Some(v) => Err(RunError::Protocol(v.clone())),
             None => Ok(()),
         }
     }
 
-    /// Marks the session aborted (first reason wins) and wakes all waiters.
-    fn abort(&self, reason: &str) {
+    /// Deadline-bounded wait. Returns the (possibly empty) list of parties
+    /// that were **removed** because they had not arrived when the budget
+    /// expired. Removal happens under the same lock acquisition that
+    /// computed the missing set, so a party arriving concurrently with the
+    /// timeout can never be removed retroactively: either it arrived
+    /// (and is not missing) or it is removed (and its next `wait_as`
+    /// reports it defaulted).
+    fn wait_deadline_as(&self, id: usize, budget: Duration) -> Result<Vec<usize>, RunError> {
+        let deadline = Instant::now() + budget;
+        let mut st = self.state.lock();
+        if let Some(v) = &st.aborted {
+            return Err(RunError::Protocol(v.clone()));
+        }
+        if let Some(slot) = st.arrived.get_mut(id) {
+            *slot = true;
+        }
+        if Self::release_if_complete(&mut st, &self.cvar) {
+            return Ok(Vec::new());
+        }
+        let generation = st.generation;
+        loop {
+            if st.generation != generation {
+                return Ok(Vec::new());
+            }
+            if let Some(v) = &st.aborted {
+                return Err(RunError::Protocol(v.clone()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let missing: Vec<usize> = st
+                    .active
+                    .iter()
+                    .zip(&st.arrived)
+                    .enumerate()
+                    .filter(|(_, (active, arrived))| **active && !**arrived)
+                    .map(|(idx, _)| idx)
+                    .collect();
+                for &idx in &missing {
+                    if let Some(a) = st.active.get_mut(idx) {
+                        *a = false;
+                    }
+                }
+                Self::release_if_complete(&mut st, &self.cvar);
+                return Ok(missing);
+            }
+            let _ = self.cvar.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Marks the session aborted (first violation wins) and wakes all
+    /// waiters.
+    fn abort(&self, violation: ProtocolViolation) {
         let mut st = self.state.lock();
         if st.aborted.is_none() {
-            st.aborted = Some(reason.to_string());
+            st.aborted = Some(violation);
         }
         self.cvar.notify_all();
     }
@@ -337,7 +599,7 @@ struct AbortOnPanic(Arc<PhaseBarrier>);
 impl Drop for AbortOnPanic {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.0.abort("an actor thread panicked");
+            self.0.abort(ProtocolViolation::panicked(ActorRole::Actor));
         }
     }
 }
@@ -345,7 +607,8 @@ impl Drop for AbortOnPanic {
 /// A processor's inbox with a hold-back buffer: draining for one kind of
 /// message must not discard messages that belong to a later step (e.g. a
 /// fast originator's grant can land while a slow peer is still consuming
-/// the bidding verdict).
+/// the bidding verdict). Garbage frames are dropped at receipt, exactly
+/// like a payload that fails signature verification (§4).
 struct ProcInbox {
     rx: Receiver<Msg>,
     pending: std::collections::VecDeque<Msg>,
@@ -362,7 +625,11 @@ impl ProcInbox {
     /// All currently available messages (pending buffer first).
     fn drain(&mut self) -> Vec<Msg> {
         let mut out: Vec<Msg> = self.pending.drain(..).collect();
-        out.extend(self.rx.try_iter());
+        out.extend(
+            self.rx
+                .try_iter()
+                .filter(|m| !matches!(m, Msg::Garbage { .. })),
+        );
         out
     }
 
@@ -383,6 +650,9 @@ impl ProcInbox {
             return Some(v);
         }
         for msg in self.rx.try_iter() {
+            if matches!(msg, Msg::Garbage { .. }) {
+                continue;
+            }
             match take(&msg) {
                 Some(v) => return Some(v),
                 None => self.pending.push_back(msg),
@@ -421,23 +691,303 @@ fn drain_referee(rx: &Receiver<(usize, Msg)>) -> Vec<(usize, Msg)> {
 // The session runner
 // ---------------------------------------------------------------------------
 
+/// Original index of an active-position, falling back to the position
+/// itself so a money movement is never silently dropped.
+fn orig_of(active: &[usize], pos: usize) -> usize {
+    active.get(pos).copied().unwrap_or(pos)
+}
+
+/// Total fines paid / rewards received by `orig` per the ledger journal.
+fn ledger_sums(ledger: &Ledger, orig: usize) -> (f64, f64) {
+    let account = Account::Processor(orig);
+    let fined: f64 = ledger
+        .journal()
+        .iter()
+        .filter(|t| t.reason == TransferReason::Fine && t.from == account)
+        .map(|t| t.amount)
+        .sum();
+    let rewarded: f64 = ledger
+        .journal()
+        .iter()
+        .filter(|t| t.reason == TransferReason::Reward && t.to == account)
+        .map(|t| t.amount)
+        .sum();
+    (fined, rewarded)
+}
+
 /// Runs one DLS-BL-NCP session end to end.
 ///
 /// Non-participants are excluded from the active market (they receive
 /// utility 0, per §4); behaviours whose `victim`/`target` indices point at
 /// non-participants degrade to [`Behavior::Compliant`].
+///
+/// A liveness fault detected before Processing defaults the absentee:
+/// it is fined `F`, excluded, and the survivors re-run the protocol over
+/// the remaining bid set (allocations and payments over the survivor set
+/// are identical to a from-scratch session without the defaulter, because
+/// each round re-derives keys, blocks and bids from the same seed). A
+/// fault during/after Processing completes the session degraded instead.
+/// If exclusions leave fewer than two live processors the session errors
+/// with [`ViolationKind::QuorumLost`].
 pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     if cfg.model == SystemModel::Cp {
         return Err(RunError::UnsupportedModel);
     }
-    // Active set and index remapping (original -> active position).
-    let active: Vec<usize> = cfg
+    // Active set in original indices; shrinks as defaulters are excluded.
+    let mut active: Vec<usize> = cfg
         .processors
         .iter()
         .enumerate()
         .filter(|(_, p)| p.behavior != Behavior::NonParticipant)
         .map(|(i, _)| i)
         .collect();
+    if active.len() < 2 {
+        return Err(RunError::TooFewParticipants);
+    }
+
+    let mut degradation = DegradationReport::default();
+    let mut ledger = Ledger::new();
+    let mut messages = MessageStats::default();
+    // Partial results of defaulted processors, keyed by original index.
+    let mut halted: BTreeMap<usize, ProcResult> = BTreeMap::new();
+    let mut any_fines = false;
+
+    let (round_active, round) = loop {
+        degradation.rounds += 1;
+        let round_active = active.clone();
+        let round = run_round(cfg, &round_active)?;
+        any_fines |= round.rr.any_fines;
+        messages.merge(&round.messages);
+
+        // Verdict fines/rewards land on the ledger in original indexing,
+        // no matter how the session ends.
+        for (_, verdict) in &round.rr.verdicts {
+            for &(i, amount) in &verdict.fined {
+                ledger.transfer(
+                    Account::Processor(orig_of(&round_active, i)),
+                    Account::FinePool,
+                    amount,
+                    TransferReason::Fine,
+                );
+            }
+            for &(i, amount) in &verdict.rewards {
+                ledger.transfer(
+                    Account::FinePool,
+                    Account::Processor(orig_of(&round_active, i)),
+                    amount,
+                    TransferReason::Reward,
+                );
+            }
+        }
+        for f in &round.rr.faults {
+            degradation.faults.push(LivenessFault {
+                phase: f.phase,
+                processor: orig_of(&round_active, f.processor),
+                kind: f.kind,
+            });
+        }
+
+        let defaulted: Vec<usize> = round
+            .rr
+            .defaulted_pre
+            .iter()
+            .map(|&pos| orig_of(&round_active, pos))
+            .collect();
+        let liveness_only_abort =
+            round.rr.aborted.is_some() && !round.rr.strategic_abort && !defaulted.is_empty();
+        if liveness_only_abort {
+            // Default the absentees (their fines are already on the
+            // ledger via the merged verdict) and re-solve around them.
+            for &orig in &defaulted {
+                degradation.default_fines.push((orig, cfg.fine));
+                degradation.excluded.push(orig);
+                if let Some(pos) = round_active.iter().position(|&o| o == orig) {
+                    halted.insert(
+                        orig,
+                        round.proc_results.get(pos).cloned().unwrap_or_default(),
+                    );
+                }
+            }
+            active.retain(|orig| !defaulted.contains(orig));
+            if active.len() < 2 {
+                return Err(RunError::Protocol(ProtocolViolation::quorum_lost(
+                    active.len(),
+                )));
+            }
+            continue;
+        }
+        break (round_active, round);
+    };
+    let RoundOutput {
+        procs,
+        proc_results,
+        rr,
+        messages: _,
+    } = round;
+    degradation.excluded.sort_unstable();
+
+    // Payments for processors that defaulted during/after Processing are
+    // withheld: they delivered no verified payment vector of their own and
+    // cannot be paid through the forwarded `Q`.
+    let withheld_pos: BTreeSet<usize> = rr
+        .faults
+        .iter()
+        .filter(|f| f.phase >= Phase::Processing && !rr.delivered_vectors.contains(&f.processor))
+        .map(|f| f.processor)
+        .collect();
+    degradation.withheld_payments = withheld_pos
+        .iter()
+        .map(|&pos| orig_of(&round_active, pos))
+        .collect();
+
+    if let Some(q) = &rr.final_q {
+        for (i, entry) in q.iter().enumerate() {
+            if withheld_pos.contains(&i) {
+                continue;
+            }
+            let total = entry.total();
+            if total >= 0.0 {
+                ledger.transfer(
+                    Account::User,
+                    Account::Processor(orig_of(&round_active, i)),
+                    total,
+                    TransferReason::Payment,
+                );
+            } else {
+                ledger.transfer(
+                    Account::Processor(orig_of(&round_active, i)),
+                    Account::User,
+                    -total,
+                    TransferReason::Payment,
+                );
+            }
+        }
+    }
+
+    // --- Realized timeline (only when processing ran) ----------------------
+    let (timeline, makespan) = if rr.meters.is_some() {
+        let exec: Vec<f64> = procs.iter().map(|p| p.exec_w()).collect();
+        let alloc: Vec<f64> = proc_results.iter().map(|r| r.alloc_fraction).collect();
+        // Realized rates come from validated configs (finite, positive).
+        let params = BusParams::new(cfg.z, exec).map_err(|_| {
+            RunError::Protocol(ProtocolViolation::invalid_state(
+                "realized execution rates invalid",
+            ))
+        })?;
+        let tl = simulate(&NetSessionSpec::new(cfg.model, params, alloc));
+        let mk = tl.makespan;
+        (Some(tl), Some(mk))
+    } else {
+        (None, None)
+    };
+
+    // --- Per-processor outcomes in original indexing ------------------------
+    let to_final: BTreeMap<usize, usize> = round_active
+        .iter()
+        .enumerate()
+        .map(|(pos, &orig)| (orig, pos))
+        .collect();
+    let mut processors = Vec::with_capacity(cfg.m());
+    for (orig, &config) in cfg.processors.iter().enumerate() {
+        let outcome = if config.behavior == Behavior::NonParticipant {
+            ProcessorOutcome {
+                config,
+                participated: false,
+                bid: None,
+                alloc_fraction: 0.0,
+                blocks_granted: 0,
+                meter: 0.0,
+                payment: None,
+                fined: 0.0,
+                rewarded: 0.0,
+                cost: 0.0,
+                utility: 0.0,
+            }
+        } else if let Some(&pos) = to_final.get(&orig) {
+            let Some(r) = proc_results.get(pos) else {
+                return Err(RunError::Protocol(ProtocolViolation::invalid_state(
+                    format!("active position {pos} has no processor result"),
+                )));
+            };
+            let (fined, rewarded) = ledger_sums(&ledger, orig);
+            let cost = r.meter;
+            let utility = ledger.balance(&Account::Processor(orig)) - cost;
+            ProcessorOutcome {
+                config,
+                participated: true,
+                bid: r.bid,
+                alloc_fraction: r.alloc_fraction,
+                blocks_granted: r.blocks_granted,
+                meter: r.meter,
+                payment: if withheld_pos.contains(&pos) {
+                    None
+                } else {
+                    rr.final_q.as_ref().and_then(|q| q.get(pos).copied())
+                },
+                fined,
+                rewarded,
+                cost,
+                utility,
+            }
+        } else {
+            // Excluded mid-session: partial results from the round it
+            // defaulted in, payment withheld by construction.
+            let r = halted.get(&orig).cloned().unwrap_or_default();
+            let (fined, rewarded) = ledger_sums(&ledger, orig);
+            let cost = r.meter;
+            let utility = ledger.balance(&Account::Processor(orig)) - cost;
+            ProcessorOutcome {
+                config,
+                participated: true,
+                bid: r.bid,
+                alloc_fraction: r.alloc_fraction,
+                blocks_granted: r.blocks_granted,
+                meter: r.meter,
+                payment: None,
+                fined,
+                rewarded,
+                cost,
+                utility,
+            }
+        };
+        processors.push(outcome);
+    }
+
+    let status = match rr.aborted {
+        Some(phase) => SessionStatus::Aborted { phase },
+        None if any_fines => SessionStatus::CompletedWithFines,
+        None => SessionStatus::Completed,
+    };
+
+    Ok(SessionOutcome {
+        status,
+        processors,
+        fine: cfg.fine,
+        messages,
+        ledger,
+        timeline,
+        makespan,
+        degradation,
+    })
+}
+
+/// Everything one protocol round produced (active-set indexing).
+struct RoundOutput {
+    /// The remapped configs the round's processors played, active order.
+    procs: Vec<ProcessorConfig>,
+    /// Per-processor partial results, active order.
+    proc_results: Vec<ProcResult>,
+    /// The referee's round result.
+    rr: RefResult,
+    /// Traffic of this round alone.
+    messages: MessageStats,
+}
+
+/// Runs one protocol round over `active` (original indices). Each round
+/// is self-contained: identities `P1..Pk`, keys, registry and data set are
+/// re-derived from the session seed, so a survivor re-run is bit-identical
+/// to a from-scratch session over the same participant set.
+fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunError> {
     let m = active.len();
     if m < 2 {
         return Err(RunError::TooFewParticipants);
@@ -448,13 +998,11 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
         .map(|(pos, &orig)| (orig, pos))
         .collect();
 
-    // Remap index-bearing behaviours into active coordinates. This filter
-    // selects exactly the configs whose indices populate `active`, in the
-    // same order.
-    let procs: Vec<ProcessorConfig> = cfg
-        .processors
+    // Remap index-bearing behaviours into active coordinates. A behaviour
+    // whose victim/target is not active degrades to Compliant.
+    let procs: Vec<ProcessorConfig> = active
         .iter()
-        .filter(|p| p.behavior != Behavior::NonParticipant)
+        .filter_map(|&orig| cfg.processors.get(orig))
         .map(|p| {
             let behavior = match p.behavior {
                 Behavior::ShortAllocate { victim, shortfall } => to_active
@@ -481,6 +1029,7 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
             ProcessorConfig {
                 true_w: p.true_w,
                 behavior,
+                fault: p.fault,
             }
         })
         .collect();
@@ -489,7 +1038,8 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     // Key generation is by far the most expensive setup step; identities
     // are independent, so generate them in parallel from per-identity
     // seeds, with a process-wide cache so repeated sessions (tests,
-    // benches, experiment sweeps) reuse key pairs deterministically.
+    // benches, experiment sweeps, survivor re-runs) reuse key pairs
+    // deterministically.
     let mut identities: Vec<String> = (1..=m).map(|i| format!("P{i}")).collect();
     identities.push(USER_IDENTITY.to_string());
     let mut keys = generate_keys_cached(&identities, cfg.key_bits, cfg.seed)?;
@@ -527,7 +1077,10 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
         stats: Mutex::new(MessageStats::default()),
         bcast: Mutex::new(()),
     });
+    // Parties 0..m are processors; party m is the referee. Only the
+    // referee's waits carry the phase deadline.
     let barrier = Arc::new(PhaseBarrier::new(m + 1));
+    let budget = Duration::from_millis(cfg.phase_budget_ms);
 
     let model = cfg.model;
     let z = cfg.z;
@@ -536,7 +1089,9 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     // --- Run the actors ----------------------------------------------------
     // Each actor returns a Result; a failing actor aborts the barrier so
     // the rest unwind instead of deadlocking, and `join` never panics the
-    // runner (a panicked actor surfaces as `None`).
+    // runner (a panicked actor surfaces as `None`). The defaulted-party
+    // signal is the one actor error that does NOT abort the round: it only
+    // terminates a zombie thread the referee already removed.
     let mut proc_joined: Vec<Option<Result<ProcResult, RunError>>> = Vec::with_capacity(m);
     let mut referee_joined: Option<Result<RefResult, RunError>> = None;
 
@@ -549,7 +1104,7 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
                     // Unreachable (one key per identity), but if it ever
                     // happened the barrier must not wait on a thread that
                     // was never spawned.
-                    barrier.abort("missing processor key");
+                    barrier.abort(ProtocolViolation::invalid_state("missing processor key"));
                     proc_joined.push(Some(Err(RunError::Crypto(format!(
                         "no key generated for processor {i}"
                     )))));
@@ -576,7 +1131,9 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
                 let _guard = AbortOnPanic(Arc::clone(&barrier));
                 let r = processor_main(ctx);
                 if let Err(e) = &r {
-                    barrier.abort(&e.to_string());
+                    if !is_defaulted(e) {
+                        barrier.abort(violation_of(e));
+                    }
                 }
                 r
             }));
@@ -588,9 +1145,17 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
             let referee = referee.clone();
             scope.spawn(move || {
                 let _guard = AbortOnPanic(Arc::clone(&barrier));
-                let r = referee_main(referee, m, net, Arc::clone(&barrier), ref_rx, dataset);
+                let r = referee_main(
+                    referee,
+                    m,
+                    net,
+                    Arc::clone(&barrier),
+                    ref_rx,
+                    dataset,
+                    budget,
+                );
                 if let Err(e) = &r {
-                    barrier.abort(&e.to_string());
+                    barrier.abort(violation_of(e));
                 }
                 r
             })
@@ -605,150 +1170,32 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     for joined in proc_joined {
         match joined {
             Some(Ok(r)) => proc_results.push(r),
+            // A removed zombie: keep what little it produced (nothing).
+            Some(Err(e)) if is_defaulted(&e) => proc_results.push(ProcResult::default()),
             Some(Err(e)) => return Err(e),
-            None => return Err(RunError::Protocol("a processor thread panicked".into())),
+            None => {
+                return Err(RunError::Protocol(ProtocolViolation::panicked(
+                    ActorRole::Processor,
+                )))
+            }
         }
     }
     let rr = match referee_joined {
         Some(Ok(rr)) => rr,
         Some(Err(e)) => return Err(e),
-        None => return Err(RunError::Protocol("the referee thread panicked".into())),
-    };
-
-    // --- Money -------------------------------------------------------------
-    // Ledger and outcomes are assembled in ORIGINAL indexing.
-    let mut ledger = Ledger::new();
-    // Verdict and payment indices come from `verdict_for` / the payment
-    // vector, both of which only emit active positions `0..m`; a position
-    // outside the active set maps to itself as a last resort so a money
-    // movement is never silently dropped.
-    let orig_index = |active_pos: usize| active.get(active_pos).copied().unwrap_or(active_pos);
-
-    for (phase, verdict) in &rr.verdicts {
-        let _ = phase;
-        for &(i, amount) in &verdict.fined {
-            ledger.transfer(
-                Account::Processor(orig_index(i)),
-                Account::FinePool,
-                amount,
-                TransferReason::Fine,
-            );
+        None => {
+            return Err(RunError::Protocol(ProtocolViolation::panicked(
+                ActorRole::Referee,
+            )))
         }
-        for &(i, amount) in &verdict.rewards {
-            ledger.transfer(
-                Account::FinePool,
-                Account::Processor(orig_index(i)),
-                amount,
-                TransferReason::Reward,
-            );
-        }
-    }
-    if let Some(q) = &rr.final_q {
-        for (i, entry) in q.iter().enumerate() {
-            let total = entry.total();
-            if total >= 0.0 {
-                ledger.transfer(
-                    Account::User,
-                    Account::Processor(orig_index(i)),
-                    total,
-                    TransferReason::Payment,
-                );
-            } else {
-                ledger.transfer(
-                    Account::Processor(orig_index(i)),
-                    Account::User,
-                    -total,
-                    TransferReason::Payment,
-                );
-            }
-        }
-    }
-
-    // --- Realized timeline (only when processing ran) ----------------------
-    let (timeline, makespan) = if rr.meters.is_some() {
-        let exec: Vec<f64> = procs.iter().map(|p| p.exec_w()).collect();
-        let alloc: Vec<f64> = proc_results.iter().map(|r| r.alloc_fraction).collect();
-        // Realized rates come from validated configs (finite, positive).
-        let params = BusParams::new(z, exec)
-            .map_err(|_| RunError::Protocol("realized execution rates invalid".into()))?;
-        let tl = simulate(&NetSessionSpec::new(model, params, alloc));
-        let mk = tl.makespan;
-        (Some(tl), Some(mk))
-    } else {
-        (None, None)
-    };
-
-    // --- Per-processor outcomes in original indexing ------------------------
-    let mut processors = Vec::with_capacity(cfg.m());
-    for (orig, &config) in cfg.processors.iter().enumerate() {
-        let outcome = match to_active.get(&orig) {
-            None => ProcessorOutcome {
-                config,
-                participated: false,
-                bid: None,
-                alloc_fraction: 0.0,
-                blocks_granted: 0,
-                meter: 0.0,
-                payment: None,
-                fined: 0.0,
-                rewarded: 0.0,
-                cost: 0.0,
-                utility: 0.0,
-            },
-            Some(&pos) => {
-                let Some(r) = proc_results.get(pos) else {
-                    return Err(RunError::Protocol(format!(
-                        "active position {pos} has no processor result"
-                    )));
-                };
-                let account = Account::Processor(orig);
-                let fined: f64 = ledger
-                    .journal()
-                    .iter()
-                    .filter(|t| t.reason == TransferReason::Fine && t.from == account)
-                    .map(|t| t.amount)
-                    .sum();
-                let rewarded: f64 = ledger
-                    .journal()
-                    .iter()
-                    .filter(|t| t.reason == TransferReason::Reward && t.to == account)
-                    .map(|t| t.amount)
-                    .sum();
-                let cost = r.meter;
-                let utility = ledger.balance(&account) - cost;
-                ProcessorOutcome {
-                    config,
-                    participated: true,
-                    bid: r.bid,
-                    alloc_fraction: r.alloc_fraction,
-                    blocks_granted: r.blocks_granted,
-                    meter: r.meter,
-                    payment: rr.final_q.as_ref().and_then(|q| q.get(pos).copied()),
-                    fined,
-                    rewarded,
-                    cost,
-                    utility,
-                }
-            }
-        };
-        processors.push(outcome);
-    }
-
-    let status = match rr.aborted {
-        Some(phase) => SessionStatus::Aborted { phase },
-        None if rr.any_fines => SessionStatus::CompletedWithFines,
-        None => SessionStatus::Completed,
     };
 
     let messages = net.stats.lock().clone();
-    Ok(SessionOutcome {
-        status,
-        processors,
-        fine: cfg.fine,
+    Ok(RoundOutput {
+        procs,
+        proc_results,
+        rr,
         messages,
-        ledger,
-        timeline,
-        makespan,
     })
 }
 
@@ -827,6 +1274,35 @@ fn generate_keys_cached(
 }
 
 // ---------------------------------------------------------------------------
+// Fault-injection hooks
+// ---------------------------------------------------------------------------
+
+/// Phase-entry hook: `true` means the thread must exit now (crash fault).
+/// A delay fault sleeps here and then proceeds normally.
+fn fault_entry(fault: &FaultPlan, phase: Phase) -> bool {
+    match fault {
+        FaultPlan::CrashAt(p) if *p == phase => true,
+        FaultPlan::DelayAt(p, ms) if *p == phase => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Outbound-message hook: `None` drops the message (mute), a garbage
+/// frame replaces it for a garbling fault, otherwise it passes through.
+fn faulted_send(fault: &FaultPlan, phase: Phase, from: usize, msg: Msg) -> Option<Msg> {
+    if fault.garbles(phase) {
+        Some(Msg::Garbage { from })
+    } else if fault.silences(phase) {
+        None
+    } else {
+        Some(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Processor actor
 // ---------------------------------------------------------------------------
 
@@ -847,7 +1323,7 @@ struct ProcCtx {
     dataset: Option<Arc<DataSet>>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct ProcResult {
     bid: Option<f64>,
     alloc_fraction: f64,
@@ -872,53 +1348,61 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
         dataset,
     } = ctx;
     let sign_err = |e: dls_crypto::pki::SignatureError| RunError::Crypto(e.to_string());
+    let fault = cfg.fault;
     let mut inbox = ProcInbox::new(rx);
-    let mut result = ProcResult {
-        bid: None,
-        alloc_fraction: 0.0,
-        blocks_granted: 0,
-        meter: 0.0,
-    };
+    let mut result = ProcResult::default();
 
     // ---- Phase 1: Bidding --------------------------------------------------
-    let my_bid = cfg
-        .bid()
-        .ok_or_else(|| RunError::Protocol("a non-participant reached the bidding phase".into()))?;
-    result.bid = Some(my_bid);
+    if fault_entry(&fault, Phase::Bidding) {
+        return Ok(result); // crash: never arrives at a barrier
+    }
+    let my_bid = cfg.bid().ok_or_else(|| {
+        RunError::Protocol(
+            ProtocolViolation::invalid_state("a non-participant reached the bidding phase")
+                .at_phase(Phase::Bidding),
+        )
+    })?;
     let first = key
         .sign(BidBody {
             processor: i,
             bid: my_bid,
         })
         .map_err(sign_err)?;
-    net.broadcast(i, Msg::Bid(first.clone()));
-    match cfg.behavior {
-        Behavior::EquivocateBids { factor } => {
-            let second = key
-                .sign(BidBody {
-                    processor: i,
-                    bid: my_bid * factor,
-                })
-                .map_err(sign_err)?;
-            net.broadcast(i, Msg::Bid(second));
+    match faulted_send(&fault, Phase::Bidding, i, Msg::Bid(first.clone())) {
+        Some(garbage @ Msg::Garbage { .. }) => net.broadcast(i, garbage),
+        Some(msg) => {
+            result.bid = Some(my_bid);
+            net.broadcast(i, msg);
+            match cfg.behavior {
+                Behavior::EquivocateBids { factor } => {
+                    let second = key
+                        .sign(BidBody {
+                            processor: i,
+                            bid: my_bid * factor,
+                        })
+                        .map_err(sign_err)?;
+                    net.broadcast(i, Msg::Bid(second));
+                }
+                Behavior::ForgeExtraBid { impersonate } => {
+                    // A bid claiming to come from someone else, with garbage
+                    // signature bytes (signature forgery is assumed impossible,
+                    // Lemma 5.2). Receivers must discard it.
+                    let forged = Signed::forge(
+                        BidBody {
+                            processor: impersonate,
+                            bid: 0.01,
+                        },
+                        format!("P{}", impersonate + 1),
+                        vec![0x5a; 48],
+                    );
+                    net.broadcast(i, Msg::Bid(forged));
+                }
+                _ => {}
+            }
         }
-        Behavior::ForgeExtraBid { impersonate } => {
-            // A bid claiming to come from someone else, with garbage
-            // signature bytes (signature forgery is assumed impossible,
-            // Lemma 5.2). Receivers must discard it.
-            let forged = Signed::forge(
-                BidBody {
-                    processor: impersonate,
-                    bid: 0.01,
-                },
-                format!("P{}", impersonate + 1),
-                vec![0x5a; 48],
-            );
-            net.broadcast(i, Msg::Bid(forged));
-        }
-        _ => {}
+        None => {} // mute: the bid is withheld
     }
-    barrier.wait()?; // B1: all bids delivered
+    barrier.wait_as(i)?; // B1: all bids delivered
 
     // Collect bids; note equivocators.
     let mut bid_view: Vec<Option<Signed<BidBody>>> = vec![None; m];
@@ -967,39 +1451,53 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
         },
         None => PhaseReport::Ok,
     };
-    net.to_referee(i, Msg::Report { from: i, report });
-    barrier.wait()?; // B2: reports in
-    barrier.wait()?; // B3: verdict broadcast
-    let verdict = inbox.take_verdict().ok_or_else(|| missing("bidding verdict"))?;
+    if let Some(msg) = faulted_send(&fault, Phase::Bidding, i, Msg::Report { from: i, report }) {
+        net.to_referee(i, msg);
+    }
+    barrier.wait_as(i)?; // B2: reports in
+    barrier.wait_as(i)?; // B3: verdict broadcast
+    let verdict = inbox
+        .take_verdict()
+        .ok_or_else(|| missing("bidding verdict", Phase::Bidding))?;
     if !verdict.proceed {
         return Ok(result);
     }
 
+    // ---- Phase 2: Allocating load -------------------------------------------
+    if fault_entry(&fault, Phase::Allocating) {
+        return Ok(result);
+    }
     // Everyone has exactly one bid per peer now (otherwise the session
     // would have aborted); assemble the agreed bid vector.
     let mut signed_bids: Vec<Signed<BidBody>> = Vec::with_capacity(m);
     for b in bid_view {
-        signed_bids.push(b.ok_or_else(|| missing("peer bid after clean bidding phase"))?);
+        signed_bids.push(b.ok_or_else(|| missing("peer bid after clean bidding phase", Phase::Bidding))?);
     }
     let bids: Vec<f64> = signed_bids
         .iter()
         .map(|s| s.body_unverified().bid)
         .collect();
     // Infallible: every collected bid was validated finite-positive above.
-    let params = BusParams::new(z, bids.clone())
-        .map_err(|_| RunError::Protocol("agreed bids do not form valid bus parameters".into()))?;
+    let params = BusParams::new(z, bids.clone()).map_err(|_| {
+        RunError::Protocol(
+            ProtocolViolation::invalid_state("agreed bids do not form valid bus parameters")
+                .at_phase(Phase::Allocating),
+        )
+    })?;
     let alpha = dls_dlt::optimal::fractions(model, &params);
     let counts = integer_allocation(&alpha, blocks_total);
     result.alloc_fraction = alpha.get(i).copied().unwrap_or(0.0);
 
-    // ---- Phase 2: Allocating load -------------------------------------------
     let mut my_blocks: Vec<crate::blocks::SignedBlock> = Vec::new();
     if i == originator {
         // The originator holds the data set (it received it from the user
         // out of band). Deviant originators tamper with the counts here.
-        let dataset = dataset
-            .as_ref()
-            .ok_or_else(|| RunError::Protocol("originator is missing the data set".into()))?;
+        let dataset = dataset.as_ref().ok_or_else(|| {
+            RunError::Protocol(
+                ProtocolViolation::invalid_state("originator is missing the data set")
+                    .at_phase(Phase::Allocating),
+            )
+        })?;
         let grants = dataset.split(&counts);
         for (to, blocks) in grants.into_iter().enumerate() {
             if to == i {
@@ -1025,11 +1523,13 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
                 _ => {}
             }
             let grant = key.sign(GrantBody { to, blocks }).map_err(sign_err)?;
-            net.unicast(to, Msg::Grant(grant));
+            if let Some(msg) = faulted_send(&fault, Phase::Allocating, i, Msg::Grant(grant)) {
+                net.unicast(to, msg);
+            }
         }
         result.blocks_granted = my_blocks.len();
     }
-    barrier.wait()?; // B4: grants delivered
+    barrier.wait_as(i)?; // B4: grants delivered
 
     let mut alloc_report = PhaseReport::Ok;
     if i != originator {
@@ -1068,60 +1568,70 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
                 }
             }
             None => {
-                // No grant at all: report with an empty grant is impossible
-                // (nothing signed to show); in the paper the referee mediates
-                // load-unit delivery. We model it as a mismatch report with
-                // the bid view only — representable as expected > 0 granted 0
-                // via a self-signed empty grant placeholder is NOT valid
-                // evidence, so instead the processor stays silent and the
-                // originator's other victims carry the accusation. With at
-                // least one block per processor this branch is unreachable
-                // for the behaviours in the catalogue.
+                // No grant at all — either the originator deviated silently
+                // or it defaulted (crash/mute). Nothing signed exists to
+                // accuse with, so the processor stays silent; a defaulted
+                // originator is detected by the referee's own deadline and
+                // message sweeps instead.
             }
         }
     }
-    net.to_referee(
+    if let Some(msg) = faulted_send(
+        &fault,
+        Phase::Allocating,
         i,
         Msg::Report {
             from: i,
             report: alloc_report,
         },
-    );
-    barrier.wait()?; // B5: allocation reports in
-    barrier.wait()?; // B6: verdict broadcast
+    ) {
+        net.to_referee(i, msg);
+    }
+    barrier.wait_as(i)?; // B5: allocation reports in
+    barrier.wait_as(i)?; // B6: verdict broadcast
     let verdict = inbox
         .take_verdict()
-        .ok_or_else(|| missing("allocation verdict"))?;
+        .ok_or_else(|| missing("allocation verdict", Phase::Allocating))?;
     if !verdict.proceed {
         return Ok(result);
     }
 
     // ---- Phase 3: Processing -------------------------------------------------
+    if fault_entry(&fault, Phase::Processing) {
+        return Ok(result); // crash: the blocks are never processed
+    }
     // The tamper-proof meter measures the time actually spent computing:
     // φ_i = (granted blocks / total) · w̃_i. The agent cannot influence this
     // message (the runtime emits it from the configuration, not from any
-    // strategy hook).
+    // strategy hook) — but a dead or wedged node's meter frame can still be
+    // absent or corrupted, which is what the fault hook models.
     let real_fraction = my_blocks.len() as f64 / blocks_total as f64;
     let phi = real_fraction * cfg.exec_w();
     result.meter = phi;
-    net.to_referee(i, Msg::Meter { of: i, phi });
-    barrier.wait()?; // B7: meters in
-    barrier.wait()?; // B8: meters broadcast
+    if let Some(msg) = faulted_send(&fault, Phase::Processing, i, Msg::Meter { of: i, phi }) {
+        net.to_referee(i, msg);
+    }
+    barrier.wait_as(i)?; // B7: meters in
+    barrier.wait_as(i)?; // B8: meters broadcast
     let meters: Vec<f64> = inbox
         .take_first(|m| match m {
             Msg::Meters(v) => Some(v.clone()),
             _ => None,
         })
-        .ok_or_else(|| missing("meter vector"))?;
+        .ok_or_else(|| missing("meter vector", Phase::Processing))?;
 
     // ---- Phase 4: Computing payments ------------------------------------------
+    if fault_entry(&fault, Phase::Payments) {
+        return Ok(result);
+    }
     // w̃_j = φ_j / α_j (per §4, Computing Payments).
     let observed: Vec<f64> = meters
         .iter()
         .zip(&alpha)
         .map(|(phi, a)| if *a > 0.0 { phi / a } else { 0.0 })
         .collect();
-    // Guard degenerate observed rates (zero-block processors) with the bid.
+    // Guard degenerate observed rates (zero-block processors and absent
+    // meter readings from defaulted peers) with the bid.
     let observed: Vec<f64> = observed
         .iter()
         .zip(&bids)
@@ -1143,23 +1653,29 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
     let pv = key
         .sign(PaymentVectorBody { processor: i, q })
         .map_err(sign_err)?;
-    net.to_referee(i, Msg::PaymentVector(pv));
-    barrier.wait()?; // B9: vectors in
-    barrier.wait()?; // B10: equality verdict or bid request
+    if let Some(msg) = faulted_send(&fault, Phase::Payments, i, Msg::PaymentVector(pv)) {
+        net.to_referee(i, msg);
+    }
+    barrier.wait_as(i)?; // B9: vectors in
+    barrier.wait_as(i)?; // B10: equality verdict or bid request
     let bid_request = !inbox
         .take_all(|m| matches!(m, Msg::BidRequest).then_some(()))
         .is_empty();
     if bid_request {
-        net.to_referee(
+        if let Some(msg) = faulted_send(
+            &fault,
+            Phase::Payments,
             i,
             Msg::BidView {
                 from: i,
                 view: signed_bids.clone(),
             },
-        );
+        ) {
+            net.to_referee(i, msg);
+        }
     }
-    barrier.wait()?; // B11: bid views in (possibly none)
-    barrier.wait()?; // B12: final verdict
+    barrier.wait_as(i)?; // B11: bid views in (possibly none)
+    barrier.wait_as(i)?; // B12: final verdict
     let _ = inbox.take_verdict();
     Ok(result)
 }
@@ -1175,8 +1691,128 @@ struct RefResult {
     verdicts: Vec<(Phase, Verdict)>,
     meters: Option<Vec<f64>>,
     final_q: Option<Vec<PaymentEntry>>,
+    /// Liveness faults detected this round (active-set indexing).
+    faults: Vec<LivenessFault>,
+    /// Parties defaulted by the verdict that aborted the round
+    /// (pre-Processing liveness faults, active-set indexing).
+    defaulted_pre: Vec<usize>,
+    /// Processors that delivered a verified payment vector of their own.
+    delivered_vectors: BTreeSet<usize>,
+    /// `true` when the aborting verdict also fined a *strategic* deviant
+    /// (evidence-based offence); such a session ends aborted instead of
+    /// re-running, exactly as before faults existed.
+    strategic_abort: bool,
 }
 
+/// The referee's liveness bookkeeping for one round: which parties are
+/// still alive, who sent garbage, and every fault detected so far. The
+/// referee is the only actor whose barrier waits carry the phase deadline;
+/// a party it removes is declared crashed, and expected-sender sweeps at
+/// each collection point classify silent-but-alive parties as omission
+/// (or garbage) faults.
+struct RoundWatch {
+    barrier: Arc<PhaseBarrier>,
+    budget: Duration,
+    referee_id: usize,
+    alive: Vec<bool>,
+    garbage: BTreeSet<usize>,
+    faults: Vec<LivenessFault>,
+}
+
+impl RoundWatch {
+    fn new(barrier: Arc<PhaseBarrier>, budget: Duration, m: usize) -> Self {
+        RoundWatch {
+            barrier,
+            budget,
+            referee_id: m,
+            alive: vec![true; m],
+            garbage: BTreeSet::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// One deadline-bounded barrier wait. Parties missing at the deadline
+    /// are removed from the barrier and recorded as crashed at `phase`.
+    fn checkpoint(&mut self, phase: Phase) -> Result<(), RunError> {
+        let removed = self.barrier.wait_deadline_as(self.referee_id, self.budget)?;
+        for id in removed {
+            if let Some(slot) = self.alive.get_mut(id) {
+                if *slot {
+                    *slot = false;
+                    self.faults.push(LivenessFault {
+                        phase,
+                        processor: id,
+                        kind: FaultKind::Crash,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remembers that `from` delivered a garbage frame, so its silence is
+    /// classified as a garbage fault rather than a plain omission.
+    fn note_garbage(&mut self, from: usize) {
+        if from < self.alive.len() {
+            self.garbage.insert(from);
+        }
+    }
+
+    /// Expected-sender sweep at a collection point: every alive party not
+    /// in `senders` is recorded as an omission (or garbage) fault at
+    /// `phase`. Dead parties were already recorded by [`Self::checkpoint`].
+    fn sweep(&mut self, phase: Phase, senders: &BTreeSet<usize>) {
+        let missing: Vec<usize> = self
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|(id, alive)| **alive && !senders.contains(id))
+            .map(|(id, _)| id)
+            .collect();
+        for id in missing {
+            let kind = if self.garbage.contains(&id) {
+                FaultKind::Garbage
+            } else {
+                FaultKind::Omission
+            };
+            self.faults.push(LivenessFault {
+                phase,
+                processor: id,
+                kind,
+            });
+        }
+    }
+
+    /// Parties with a fault detected at `phase`.
+    fn defaulted_at(&self, phase: Phase) -> BTreeSet<usize> {
+        self.faults
+            .iter()
+            .filter(|f| f.phase == phase)
+            .map(|f| f.processor)
+            .collect()
+    }
+}
+
+/// Folds liveness defaulters into a strategic verdict: the merged deviant
+/// set is fined per the §4 schedule (`F` each, pot split among survivors)
+/// and the verdict aborts iff `abort`. Returns the merged verdict and
+/// whether the *strategic* verdict alone already fined someone.
+fn merge_defaults(
+    referee: &Referee,
+    strategic: Verdict,
+    defaulted: &BTreeSet<usize>,
+    abort: bool,
+) -> (Verdict, bool) {
+    let strategic_fines = !strategic.fined.is_empty();
+    if defaulted.is_empty() {
+        return (strategic, strategic_fines);
+    }
+    let mut deviants: BTreeSet<usize> = strategic.fined.iter().map(|&(i, _)| i).collect();
+    deviants.extend(defaulted.iter().copied());
+    (referee.verdict_for(&deviants, abort), strategic_fines)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn referee_main(
     referee: Referee,
     m: usize,
@@ -1184,6 +1820,7 @@ fn referee_main(
     barrier: Arc<PhaseBarrier>,
     rx: Receiver<(usize, Msg)>,
     dataset: Arc<DataSet>,
+    budget: Duration,
 ) -> Result<RefResult, RunError> {
     let mut result = RefResult {
         aborted: None,
@@ -1191,59 +1828,112 @@ fn referee_main(
         verdicts: Vec::new(),
         meters: None,
         final_q: None,
+        faults: Vec::new(),
+        defaulted_pre: Vec::new(),
+        delivered_vectors: BTreeSet::new(),
+        strategic_abort: false,
     };
+    let mut watch = RoundWatch::new(barrier, budget, m);
 
     // ---- Bidding ----
-    barrier.wait()?; // B1
-    barrier.wait()?; // B2: reports are in
-    let reports = collect_reports(&rx);
-    let verdict = referee.adjudicate_bidding(&reports);
+    watch.checkpoint(Phase::Bidding)?; // B1
+    watch.checkpoint(Phase::Bidding)?; // B2: reports are in
+    let (reports, garbage) = collect_reports(&rx);
+    for from in garbage {
+        watch.note_garbage(from);
+    }
+    let senders: BTreeSet<usize> = reports.iter().map(|(from, _)| *from).collect();
+    watch.sweep(Phase::Bidding, &senders);
+    let strategic = referee.adjudicate_bidding(&reports);
+    let defaulted = watch.defaulted_at(Phase::Bidding);
+    let (verdict, strategic_fines) = merge_defaults(&referee, strategic, &defaulted, true);
     record_verdict(&mut result, Phase::Bidding, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict.clone()));
-    barrier.wait()?; // B3
+    watch.checkpoint(Phase::Bidding)?; // B3
     if !verdict.proceed {
         result.aborted = Some(Phase::Bidding);
+        result.strategic_abort = strategic_fines;
+        result.defaulted_pre = defaulted.into_iter().collect();
+        result.faults = watch.faults;
         return Ok(result);
     }
 
     // ---- Allocating ----
-    barrier.wait()?; // B4
-    barrier.wait()?; // B5: allocation reports in
-    let reports = collect_reports(&rx);
-    let verdict = referee.adjudicate_allocation(&reports, &dataset);
+    watch.checkpoint(Phase::Allocating)?; // B4
+    watch.checkpoint(Phase::Allocating)?; // B5: allocation reports in
+    let (reports, garbage) = collect_reports(&rx);
+    for from in garbage {
+        watch.note_garbage(from);
+    }
+    let senders: BTreeSet<usize> = reports.iter().map(|(from, _)| *from).collect();
+    watch.sweep(Phase::Allocating, &senders);
+    let strategic = referee.adjudicate_allocation(&reports, &dataset);
+    let defaulted = watch.defaulted_at(Phase::Allocating);
+    let (verdict, strategic_fines) = merge_defaults(&referee, strategic, &defaulted, true);
     record_verdict(&mut result, Phase::Allocating, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict.clone()));
-    barrier.wait()?; // B6
+    watch.checkpoint(Phase::Allocating)?; // B6
     if !verdict.proceed {
         result.aborted = Some(Phase::Allocating);
+        result.strategic_abort = strategic_fines;
+        result.defaulted_pre = defaulted.into_iter().collect();
+        result.faults = watch.faults;
         return Ok(result);
     }
 
     // ---- Processing ----
-    barrier.wait()?; // B7: meters in
-    let mut meters = vec![0.0; m];
-    for (_, msg) in drain_referee(&rx) {
-        if let Msg::Meter { of, phi } = msg {
-            // `get_mut` discards meter readings with an out-of-range
-            // subject instead of tearing the session down; the runtime
-            // emits these from validated indices.
-            if let Some(slot) = meters.get_mut(of) {
-                *slot = phi;
+    // Liveness faults from here on cannot abort the round: work is (being)
+    // done. A missing meter reads 0 and the observed rate falls back to the
+    // bid; a missing payment vector is fined by the ordinary payment
+    // adjudication below.
+    watch.checkpoint(Phase::Processing)?; // B7: meters in
+    let mut meter_slots: Vec<Option<f64>> = vec![None; m];
+    for (from, msg) in drain_referee(&rx) {
+        match msg {
+            Msg::Meter { of, phi } => {
+                // `get_mut` discards meter readings with an out-of-range
+                // subject instead of tearing the session down; the runtime
+                // emits these from validated indices.
+                if let Some(slot) = meter_slots.get_mut(of) {
+                    *slot = Some(phi);
+                }
+            }
+            Msg::Garbage { .. } => watch.note_garbage(from),
+            _ => {}
+        }
+    }
+    let senders: BTreeSet<usize> = meter_slots
+        .iter()
+        .enumerate()
+        .filter_map(|(id, s)| s.map(|_| id))
+        .collect();
+    watch.sweep(Phase::Processing, &senders);
+    let meters: Vec<f64> = meter_slots.iter().map(|s| s.unwrap_or(0.0)).collect();
+    result.meters = Some(meters.clone());
+    net.broadcast_referee(Msg::Meters(meters.clone()));
+    watch.checkpoint(Phase::Processing)?; // B8
+
+    // ---- Payments ----
+    watch.checkpoint(Phase::Payments)?; // B9: payment vectors in
+    let mut vectors = Vec::new();
+    for (from, msg) in drain_referee(&rx) {
+        match msg {
+            Msg::PaymentVector(v) => vectors.push(v),
+            Msg::Garbage { .. } => watch.note_garbage(from),
+            _ => {}
+        }
+    }
+    let mut delivered = BTreeSet::new();
+    for sv in &vectors {
+        if let Ok(body) = sv.verify(referee_registry(&referee)) {
+            if sv.signer() == format!("P{}", body.processor + 1) && body.processor < m {
+                delivered.insert(body.processor);
             }
         }
     }
-    result.meters = Some(meters.clone());
-    net.broadcast_referee(Msg::Meters(meters.clone()));
-    barrier.wait()?; // B8
+    watch.sweep(Phase::Payments, &delivered);
+    result.delivered_vectors = delivered;
 
-    // ---- Payments ----
-    barrier.wait()?; // B9: payment vectors in
-    let mut vectors = Vec::new();
-    for (_, msg) in drain_referee(&rx) {
-        if let Msg::PaymentVector(v) = msg {
-            vectors.push(v);
-        }
-    }
     // First, the cheap equality check (no processor parameters needed).
     let agreed = if vectors_all_equal(&vectors, m, &referee) {
         vectors.first()
@@ -1256,37 +1946,49 @@ fn referee_main(
         result.final_q = Some(q);
         net.broadcast_referee(Msg::Verdict(Verdict::ok()));
         record_verdict(&mut result, Phase::Payments, &Verdict::ok());
-        barrier.wait()?; // B10
-        barrier.wait()?; // B11 (no bid views)
+        watch.checkpoint(Phase::Payments)?; // B10
+        watch.checkpoint(Phase::Payments)?; // B11 (no bid views)
         net.broadcast_referee(Msg::Verdict(Verdict::ok()));
-        barrier.wait()?; // B12
+        watch.checkpoint(Phase::Payments)?; // B12
+        result.faults = watch.faults;
         return Ok(result);
     }
 
-    // Vectors disagree: request the bids (§4).
+    // Vectors disagree (or a defaulter's is missing): request the bids (§4).
     net.broadcast_referee(Msg::BidRequest);
-    barrier.wait()?; // B10
-    barrier.wait()?; // B11: bid views in
+    watch.checkpoint(Phase::Payments)?; // B10
+    watch.checkpoint(Phase::Payments)?; // B11: bid views in
     let mut bids: Option<Vec<f64>> = None;
-    for (_, msg) in drain_referee(&rx) {
-        let Msg::BidView { view, .. } = msg else {
-            continue;
-        };
-        if bids.is_some() {
-            continue;
-        }
-        if let Some(b) = verify_bid_view(&view, m, &referee) {
-            bids = Some(b);
+    for (from, msg) in drain_referee(&rx) {
+        match msg {
+            Msg::BidView { view, .. } => {
+                if bids.is_none() {
+                    if let Some(b) = verify_bid_view(&view, m, &referee) {
+                        bids = Some(b);
+                    }
+                }
+            }
+            Msg::Garbage { .. } => watch.note_garbage(from),
+            _ => {}
         }
     }
     // At least one honest processor exists under the fault model (§5);
     // if every submitted view is unverifiable the session cannot be
     // adjudicated and errors out instead of panicking the referee.
     let bids = bids.ok_or_else(|| {
-        RunError::Protocol("no verifiable bid view received for payment adjudication".into())
+        RunError::Protocol(
+            ProtocolViolation::invalid_state(
+                "no verifiable bid view received for payment adjudication",
+            )
+            .at_phase(Phase::Payments),
+        )
     })?;
-    let params = BusParams::new(referee_z(&referee), bids.clone())
-        .map_err(|_| RunError::Protocol("verified bid view has invalid rates".into()))?;
+    let params = BusParams::new(referee_z(&referee), bids.clone()).map_err(|_| {
+        RunError::Protocol(
+            ProtocolViolation::invalid_state("verified bid view has invalid rates")
+                .at_phase(Phase::Payments),
+        )
+    })?;
     let alpha = dls_dlt::optimal::fractions(referee_model(&referee), &params);
     let observed: Vec<f64> = meters
         .iter()
@@ -1296,23 +1998,33 @@ fn referee_main(
         .collect();
     let (verdict, correct) = referee
         .adjudicate_payments(&vectors, &bids, &observed)
-        .map_err(|e| RunError::Protocol(e.to_string()))?;
+        .map_err(|e| {
+            RunError::Protocol(
+                ProtocolViolation::invalid_state(e.to_string()).at_phase(Phase::Payments),
+            )
+        })?;
     result.final_q = Some(correct);
     record_verdict(&mut result, Phase::Payments, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict));
-    barrier.wait()?; // B12
+    watch.checkpoint(Phase::Payments)?; // B12
+    result.faults = watch.faults;
     Ok(result)
 }
 
-fn collect_reports(rx: &Receiver<(usize, Msg)>) -> Vec<(usize, PhaseReport)> {
+/// Reports (sorted by sender) plus the transport-level senders of garbage
+/// frames observed at this collection point.
+fn collect_reports(rx: &Receiver<(usize, Msg)>) -> (Vec<(usize, PhaseReport)>, Vec<usize>) {
     let mut out = Vec::new();
+    let mut garbage = Vec::new();
     for (from, msg) in drain_referee(rx) {
-        if let Msg::Report { report, .. } = msg {
-            out.push((from, report));
+        match msg {
+            Msg::Report { report, .. } => out.push((from, report)),
+            Msg::Garbage { .. } => garbage.push(from),
+            _ => {}
         }
     }
     out.sort_by_key(|(from, _)| *from);
-    out
+    (out, garbage)
 }
 
 fn record_verdict(result: &mut RefResult, phase: Phase, verdict: &Verdict) {
@@ -1329,7 +2041,7 @@ fn vectors_all_equal(
     m: usize,
     referee: &Referee,
 ) -> bool {
-    use crate::referee::PAYMENT_TOLERANCE;
+    use crate::referee::payments_agree;
     let mut per_proc: Vec<Option<&PaymentVectorBody>> = vec![None; m];
     for sv in vectors {
         let Ok(body) = sv.verify(referee_registry(referee)) else {
@@ -1351,8 +2063,8 @@ fn vectors_all_equal(
         Some(body) => {
             body.q.len() == first.q.len()
                 && body.q.iter().zip(&first.q).all(|(a, b)| {
-                    (a.compensation - b.compensation).abs() <= PAYMENT_TOLERANCE
-                        && (a.bonus - b.bonus).abs() <= PAYMENT_TOLERANCE
+                    payments_agree(a.compensation, b.compensation)
+                        && payments_agree(a.bonus, b.bonus)
                 })
         }
         None => false,
@@ -1467,32 +2179,121 @@ mod tests {
     }
 
     #[test]
+    fn inbox_drops_garbage_at_receipt() {
+        let (tx, rx) = unbounded();
+        let mut inbox = ProcInbox::new(rx);
+        tx.send(Msg::Garbage { from: 1 }).unwrap();
+        tx.send(bid_msg(0, 1.0)).unwrap();
+        tx.send(Msg::Garbage { from: 2 }).unwrap();
+        let drained = inbox.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(matches!(&drained[0], Msg::Bid(_)));
+        // take_first also never surfaces or stashes garbage.
+        tx.send(Msg::Garbage { from: 1 }).unwrap();
+        tx.send(Msg::Verdict(Verdict::ok())).unwrap();
+        assert!(inbox.take_verdict().is_some());
+        assert!(inbox.drain().is_empty());
+    }
+
+    #[test]
+    fn violation_display_matches_legacy_text() {
+        // Satellite contract: the structured errors render exactly the
+        // strings the stringly-typed RunError::Protocol(String) produced.
+        let cases = [
+            (
+                RunError::Protocol(ProtocolViolation::missing_message("bidding verdict")),
+                "protocol runtime failure: expected bidding verdict missing at phase boundary",
+            ),
+            (
+                RunError::Protocol(ProtocolViolation::panicked(ActorRole::Processor)),
+                "protocol runtime failure: a processor thread panicked",
+            ),
+            (
+                RunError::Protocol(ProtocolViolation::panicked(ActorRole::Referee)),
+                "protocol runtime failure: the referee thread panicked",
+            ),
+            (
+                RunError::Protocol(ProtocolViolation::panicked(ActorRole::Actor)),
+                "protocol runtime failure: an actor thread panicked",
+            ),
+            (
+                RunError::Protocol(ProtocolViolation::invalid_state(
+                    "realized execution rates invalid",
+                )),
+                "protocol runtime failure: realized execution rates invalid",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+        // Structured context is attached without changing the rendering.
+        let v = ProtocolViolation::missing_message("meter vector")
+            .at_phase(Phase::Processing)
+            .by_processor(2);
+        assert_eq!(v.phase, Some(Phase::Processing));
+        assert_eq!(v.processor, Some(2));
+        assert_eq!(
+            v.to_string(),
+            "expected meter vector missing at phase boundary"
+        );
+    }
+
+    #[test]
     fn phase_barrier_abort_releases_waiters() {
         let barrier = Arc::new(PhaseBarrier::new(2));
         let waiter = {
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || barrier.wait())
+            std::thread::spawn(move || barrier.wait_as(0))
         };
-        barrier.abort("fixture failure");
+        barrier.abort(ProtocolViolation::invalid_state("fixture failure"));
         let err = waiter.join().unwrap().unwrap_err();
-        assert!(matches!(err, RunError::Protocol(ref s) if s == "fixture failure"));
+        assert!(matches!(err, RunError::Protocol(ref v) if v.to_string() == "fixture failure"));
         // Late arrivals observe the sticky abort immediately.
-        assert!(barrier.wait().is_err());
+        assert!(barrier.wait_as(1).is_err());
     }
 
     #[test]
     fn phase_barrier_releases_all_parties_per_generation() {
         let barrier = Arc::new(PhaseBarrier::new(3));
-        let spawn_waiter = |b: &Arc<PhaseBarrier>| {
+        let spawn_waiter = |b: &Arc<PhaseBarrier>, id: usize| {
             let b = Arc::clone(b);
-            std::thread::spawn(move || b.wait().and_then(|()| b.wait()))
+            std::thread::spawn(move || b.wait_as(id).and_then(|()| b.wait_as(id)))
         };
-        let a = spawn_waiter(&barrier);
-        let b = spawn_waiter(&barrier);
-        assert!(barrier.wait().is_ok());
-        assert!(barrier.wait().is_ok());
+        let a = spawn_waiter(&barrier, 0);
+        let b = spawn_waiter(&barrier, 1);
+        assert!(barrier.wait_as(2).is_ok());
+        assert!(barrier.wait_as(2).is_ok());
         assert!(a.join().unwrap().is_ok());
         assert!(b.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn phase_barrier_deadline_removes_missing_parties() {
+        // Three parties; party 1 never shows up. The deadline waiter (2)
+        // removes it, and both live parties keep synchronizing afterwards.
+        let barrier = Arc::new(PhaseBarrier::new(3));
+        let live = {
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || b.wait_as(0).and_then(|()| b.wait_as(0)))
+        };
+        let removed = barrier
+            .wait_deadline_as(2, Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(removed, vec![1]);
+        // Next generation completes without the removed party, well before
+        // this generous deadline.
+        let removed = barrier
+            .wait_deadline_as(2, Duration::from_secs(5))
+            .unwrap();
+        assert!(removed.is_empty());
+        assert!(live.join().unwrap().is_ok());
+        // The removed party's thread, were it alive, would be told it
+        // defaulted rather than being allowed to rejoin.
+        let err = barrier.wait_as(1).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Protocol(ref v) if v.kind == ViolationKind::Defaulted
+        ));
     }
 
     #[test]
@@ -1506,6 +2307,20 @@ mod tests {
         assert_eq!(s.category("grant"), (0, 0));
         assert_eq!(s.total_messages(), 6);
         assert_eq!(s.total_bytes(), 1150);
+    }
+
+    #[test]
+    fn message_stats_merge_sums_rounds() {
+        let mut a = MessageStats::default();
+        a.record(MsgCategory::Bid, 2, 10);
+        a.record(MsgCategory::Control, 5, 8);
+        let mut b = MessageStats::default();
+        b.record(MsgCategory::Bid, 3, 10);
+        b.record(MsgCategory::Grant, 1, 100);
+        a.merge(&b);
+        assert_eq!(a.category("bid"), (5, 50));
+        assert_eq!(a.category("grant"), (1, 100));
+        assert_eq!(a.category("control"), (5, 40));
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Chaos suite: every liveness-fault plan crossed with every protocol
+//! phase, on both NCP models.
+//!
+//! The contract under test (tentpole of the fault-tolerance layer):
+//!
+//! * no injected fault can hang a session — a defaulted party costs at
+//!   most one expired phase deadline;
+//! * every [`dls_protocol::DegradationReport`] tells the truth about what
+//!   was observed (kind, phase, processor) and what was done about it
+//!   (exclusion + re-run before Processing, degraded completion after);
+//! * a pre-Processing default re-solves to **bit-identical** survivor
+//!   allocations and payments as an independent from-scratch session over
+//!   the survivor bid set;
+//! * a sub-budget delay is a tolerated straggler: clean report, results
+//!   bit-identical to the fault-free run.
+
+use dls_dlt::SystemModel;
+use dls_protocol::config::{Behavior, ProcessorConfig, SessionConfig};
+use dls_protocol::fault::{FaultKind, FaultPlan};
+use dls_protocol::referee::Phase;
+use dls_protocol::{run_session, SessionOutcome, SessionStatus};
+use std::time::{Duration, Instant};
+
+const Z: f64 = 0.25;
+const W: [f64; 3] = [1.0, 1.6, 2.2];
+/// Never the originator under either NCP model with m = 3.
+const FAULTY: usize = 1;
+const BUDGET_MS: u64 = 400;
+const DELAY_MS: u64 = 50;
+const SEED: u64 = 11;
+
+const MODELS: [SystemModel; 2] = [SystemModel::NcpFe, SystemModel::NcpNfe];
+const PHASES: [Phase; 4] = [
+    Phase::Bidding,
+    Phase::Allocating,
+    Phase::Processing,
+    Phase::Payments,
+];
+
+fn session(
+    model: SystemModel,
+    fault_of: impl Fn(usize) -> FaultPlan,
+    behavior_of: impl Fn(usize) -> Behavior,
+) -> SessionConfig {
+    // 12 blocks keeps per-session signing cheap; the chaos matrix cares
+    // about liveness, not block granularity.
+    let mut b = SessionConfig::builder(model, Z)
+        .seed(SEED)
+        .blocks(12)
+        .phase_budget_ms(BUDGET_MS);
+    for (i, &w) in W.iter().enumerate() {
+        b = b.processor(ProcessorConfig::new(w, behavior_of(i)).with_fault(fault_of(i)));
+    }
+    b.build().unwrap()
+}
+
+/// Runs a session and asserts the no-hang bound: a fault is detected at
+/// the first barrier its victim misses, so the whole session — including
+/// a survivor re-run — may exceed normal execution by at most one phase
+/// budget (plus slack for slow CI machines).
+fn run_timed(cfg: &SessionConfig) -> SessionOutcome {
+    let start = Instant::now();
+    let out = run_session(cfg).expect("an injected liveness fault must degrade, not error");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(2 * BUDGET_MS + 1_000),
+        "session exceeded its deadline budget by more than one phase: {elapsed:?}"
+    );
+    out
+}
+
+/// Bit-compares every non-`skip` processor's allocation, meter and
+/// payment between two outcomes, plus the realized makespan.
+fn assert_survivors_bit_identical(a: &SessionOutcome, b: &SessionOutcome, skip: usize, tag: &str) {
+    for (i, (pa, pb)) in a.processors.iter().zip(&b.processors).enumerate() {
+        if i == skip {
+            continue;
+        }
+        let p = i + 1;
+        assert_eq!(
+            pa.alloc_fraction.to_bits(),
+            pb.alloc_fraction.to_bits(),
+            "{tag} P{p} alloc: {} vs {}",
+            pa.alloc_fraction,
+            pb.alloc_fraction
+        );
+        assert_eq!(pa.blocks_granted, pb.blocks_granted, "{tag} P{p} blocks");
+        assert_eq!(pa.meter.to_bits(), pb.meter.to_bits(), "{tag} P{p} meter");
+        let qa = pa.payment.unwrap_or_else(|| panic!("{tag} P{p}: payment missing"));
+        let qb = pb.payment.unwrap_or_else(|| panic!("{tag} P{p}: payment missing"));
+        assert_eq!(
+            qa.compensation.to_bits(),
+            qb.compensation.to_bits(),
+            "{tag} P{p} compensation: {} vs {}",
+            qa.compensation,
+            qb.compensation
+        );
+        assert_eq!(
+            qa.bonus.to_bits(),
+            qb.bonus.to_bits(),
+            "{tag} P{p} bonus: {} vs {}",
+            qa.bonus,
+            qb.bonus
+        );
+    }
+    assert_eq!(
+        a.makespan.map(f64::to_bits),
+        b.makespan.map(f64::to_bits),
+        "{tag} makespan"
+    );
+}
+
+/// The full `{Crash,Mute,Delay,Garbage} × {Bidding,Allocating,Processing,
+/// Payments} × {NCP-FE,NCP-NFE}` matrix.
+#[test]
+fn fault_matrix_never_hangs_and_reports_truthfully() {
+    for model in MODELS {
+        let clean = run_timed(&session(model, |_| FaultPlan::None, |_| Behavior::Compliant));
+        assert!(clean.degradation.is_clean(), "{model}: baseline not clean");
+        for phase in PHASES {
+            let cells = [
+                (FaultPlan::CrashAt(phase), Some(FaultKind::Crash)),
+                (FaultPlan::MuteAt(phase), Some(FaultKind::Omission)),
+                (FaultPlan::GarbageAt(phase), Some(FaultKind::Garbage)),
+                (FaultPlan::DelayAt(phase, DELAY_MS), None),
+            ];
+            for (plan, kind) in cells {
+                let cfg = session(
+                    model,
+                    |i| if i == FAULTY { plan } else { FaultPlan::None },
+                    |_| Behavior::Compliant,
+                );
+                let out = run_timed(&cfg);
+                let tag = format!("{model}, {plan}");
+                let Some(kind) = kind else {
+                    // A sub-budget delay is a tolerated straggler: the
+                    // session completes clean and bit-identical.
+                    assert!(out.degradation.is_clean(), "{tag}: {}", out.degradation);
+                    assert_eq!(out.status, SessionStatus::Completed, "{tag}");
+                    assert_survivors_bit_identical(&out, &clean, usize::MAX, &tag);
+                    continue;
+                };
+                // The report names the right processor, phase and kind.
+                assert!(
+                    out.degradation
+                        .faults_at(phase)
+                        .iter()
+                        .any(|f| f.processor == FAULTY && f.kind == kind),
+                    "{tag}: faults = {:?}",
+                    out.degradation.faults
+                );
+                if phase < Phase::Processing {
+                    // Pre-Processing default: fined per the §4 schedule,
+                    // excluded, survivors re-ran over the remaining bids.
+                    assert_eq!(out.degradation.excluded, vec![FAULTY], "{tag}");
+                    assert_eq!(out.degradation.rounds, 2, "{tag}");
+                    assert_eq!(
+                        out.degradation.default_fines,
+                        vec![(FAULTY, cfg.fine)],
+                        "{tag}"
+                    );
+                    assert_eq!(out.status, SessionStatus::CompletedWithFines, "{tag}");
+                    assert!(out.processors[FAULTY].payment.is_none(), "{tag}");
+                    assert!(
+                        out.processors[FAULTY].fined >= cfg.fine,
+                        "{tag}: fined {}",
+                        out.processors[FAULTY].fined
+                    );
+                } else {
+                    // During/after Processing: degraded completion, never
+                    // a rollback or re-run.
+                    assert_eq!(out.degradation.rounds, 1, "{tag}");
+                    assert!(out.degradation.excluded.is_empty(), "{tag}");
+                    assert!(out.degradation.default_fines.is_empty(), "{tag}");
+                    // The payment vector is missing exactly when the fault
+                    // silences the Payments phase itself, or the crash
+                    // predates it.
+                    let vector_missing = phase == Phase::Payments
+                        || matches!(plan, FaultPlan::CrashAt(_));
+                    if vector_missing {
+                        assert_eq!(
+                            out.degradation.withheld_payments,
+                            vec![FAULTY],
+                            "{tag}"
+                        );
+                        assert!(out.processors[FAULTY].payment.is_none(), "{tag}");
+                        // The missing vector is fined by the ordinary §4
+                        // payment adjudication, not a special case.
+                        assert_eq!(out.status, SessionStatus::CompletedWithFines, "{tag}");
+                        assert_eq!(out.processors[FAULTY].fined, cfg.fine, "{tag}");
+                    } else {
+                        // Mute/garbage at Processing only loses the meter:
+                        // everyone falls back to the bid consistently, the
+                        // vectors agree, and nobody is fined.
+                        assert!(out.degradation.withheld_payments.is_empty(), "{tag}");
+                        assert!(out.processors[FAULTY].payment.is_some(), "{tag}");
+                        assert_eq!(out.status, SessionStatus::Completed, "{tag}");
+                    }
+                    // Survivors are always paid in a degraded completion.
+                    for i in (0..W.len()).filter(|&i| i != FAULTY) {
+                        assert!(
+                            out.processors[i].payment.is_some(),
+                            "{tag}: P{} unpaid",
+                            i + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Acceptance bar: a pre-Processing default's survivor re-run must be
+/// bit-identical to an independent from-scratch session over the survivor
+/// bid set (modelled as the faulty processor sitting out).
+#[test]
+fn pre_processing_defaults_resolve_to_the_independent_survivor_run() {
+    for model in MODELS {
+        let ghost = run_timed(&session(
+            model,
+            |_| FaultPlan::None,
+            |i| {
+                if i == FAULTY {
+                    Behavior::NonParticipant
+                } else {
+                    Behavior::Compliant
+                }
+            },
+        ));
+        for phase in [Phase::Bidding, Phase::Allocating] {
+            for plan in [
+                FaultPlan::CrashAt(phase),
+                FaultPlan::MuteAt(phase),
+                FaultPlan::GarbageAt(phase),
+            ] {
+                let faulted = run_timed(&session(
+                    model,
+                    |i| if i == FAULTY { plan } else { FaultPlan::None },
+                    |_| Behavior::Compliant,
+                ));
+                let tag = format!("{model}, {plan}");
+                assert_survivors_bit_identical(&faulted, &ghost, FAULTY, &tag);
+                assert!(faulted.processors[FAULTY].payment.is_none(), "{tag}");
+            }
+        }
+    }
+}
+
+/// The load originator itself defaulting at Allocating is the nastiest
+/// pre-Processing case: no grants ever go out, the survivors have nothing
+/// signed to accuse with, and the referee's deadline/sweep machinery must
+/// still detect, exclude and re-run with a new head promoted.
+#[test]
+fn originator_faults_at_allocating_promote_a_new_head() {
+    for model in MODELS {
+        let orig = model.originator(W.len()).unwrap();
+        let ghost = run_timed(&session(
+            model,
+            |_| FaultPlan::None,
+            |i| {
+                if i == orig {
+                    Behavior::NonParticipant
+                } else {
+                    Behavior::Compliant
+                }
+            },
+        ));
+        for plan in [
+            FaultPlan::CrashAt(Phase::Allocating),
+            FaultPlan::MuteAt(Phase::Allocating),
+            FaultPlan::GarbageAt(Phase::Allocating),
+        ] {
+            let faulted = run_timed(&session(
+                model,
+                |i| if i == orig { plan } else { FaultPlan::None },
+                |_| Behavior::Compliant,
+            ));
+            let tag = format!("{model}, originator {plan}");
+            assert_eq!(faulted.degradation.excluded, vec![orig], "{tag}");
+            assert_eq!(faulted.degradation.rounds, 2, "{tag}");
+            assert_eq!(faulted.status, SessionStatus::CompletedWithFines, "{tag}");
+            assert_survivors_bit_identical(&faulted, &ghost, orig, &tag);
+        }
+    }
+}
+
+/// A strategic offence that aborts the session (equivocation) takes
+/// precedence over a concurrent liveness default: the session ends
+/// `Aborted`, nobody re-runs, and both offenders are fined.
+#[test]
+fn strategic_abort_takes_precedence_over_liveness_defaults() {
+    let cfg = SessionConfig::builder(SystemModel::NcpFe, Z)
+        .seed(SEED)
+        .phase_budget_ms(BUDGET_MS)
+        .processor(ProcessorConfig::new(W[0], Behavior::Compliant))
+        .processor(
+            ProcessorConfig::new(W[1], Behavior::Compliant)
+                .with_fault(FaultPlan::CrashAt(Phase::Bidding)),
+        )
+        .processor(ProcessorConfig::new(
+            W[2],
+            Behavior::EquivocateBids { factor: 2.0 },
+        ))
+        .build()
+        .unwrap();
+    let out = run_timed(&cfg);
+    assert_eq!(
+        out.status,
+        SessionStatus::Aborted {
+            phase: Phase::Bidding
+        }
+    );
+    assert_eq!(out.degradation.rounds, 1);
+    assert!(out.degradation.excluded.is_empty(), "no re-run on abort");
+    assert!(out
+        .degradation
+        .faults_at(Phase::Bidding)
+        .iter()
+        .any(|f| f.processor == 1 && f.kind == FaultKind::Crash));
+    assert!(out.processors[2].fined > 0.0, "equivocator fined");
+    assert!(out.processors[1].fined > 0.0, "defaulter fined");
+}
+
+/// Tier-1 smoke: the cheapest fault in the matrix, kept standalone so the
+/// termination property is exercised even when the full matrix is
+/// filtered out.
+#[test]
+fn crash_at_bidding_terminates_within_budget() {
+    let cfg = session(
+        SystemModel::NcpFe,
+        |i| {
+            if i == FAULTY {
+                FaultPlan::CrashAt(Phase::Bidding)
+            } else {
+                FaultPlan::None
+            }
+        },
+        |_| Behavior::Compliant,
+    );
+    let out = run_timed(&cfg); // asserts the wall-clock bound
+    assert_eq!(out.degradation.excluded, vec![FAULTY]);
+    assert_eq!(out.status, SessionStatus::CompletedWithFines);
+}

@@ -1,6 +1,6 @@
 //! Offline stand-in for the subset of `parking_lot` this workspace uses:
 //! `Mutex` (with `const fn new` and non-poisoning `lock`) and `Condvar`
-//! (`wait` on `&mut MutexGuard`, `notify_all`/`notify_one`).
+//! (`wait`/`wait_for` on `&mut MutexGuard`, `notify_all`/`notify_one`).
 //!
 //! Built on `std::sync` primitives; poisoning is swallowed exactly like
 //! `parking_lot` (a panicking critical section does not wedge the lock).
@@ -86,6 +86,29 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Blocks until notified or until `timeout` elapses, releasing
+    /// `guard`'s lock while waiting. Returns a [`WaitTimeoutResult`]
+    /// matching `parking_lot`'s shape (`timed_out()` is `true` when the
+    /// wait ended because the timeout elapsed).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard invariant");
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
         self.inner.notify_all();
@@ -100,6 +123,20 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Result of a timed wait: whether the timeout elapsed before a
+/// notification arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -126,6 +163,37 @@ mod tests {
             }
             assert_eq!(*g, 1);
         }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+        assert_eq!(*g, 0, "the guard is still usable after a timeout");
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            let r = cv.wait_for(&mut g, std::time::Duration::from_secs(5));
+            if r.timed_out() {
+                break;
+            }
+        }
+        assert!(*g, "the notification arrived before the 5s timeout");
         handle.join().unwrap();
     }
 

@@ -3,10 +3,12 @@
 //! and the payments harness (`src/bin/payments.rs`); [`payments`] hosts the
 //! payment-solver sweep behind the committed `BENCH_payments.json`;
 //! [`throughput`] hosts the auction-engine sweep behind the committed
-//! `BENCH_throughput.json`.
+//! `BENCH_throughput.json`; [`sessions`] hosts the protocol-session sweep
+//! behind the committed `BENCH_sessions.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod payments;
+pub mod sessions;
 pub mod throughput;
 pub mod workloads;

@@ -1,0 +1,419 @@
+//! Session-throughput sweep: the data source for `BENCH_sessions.json`.
+//!
+//! One cell = (market size `m`) × (batch of independent sessions) × path:
+//!
+//! * **`"threaded"`** — the oracle runtime
+//!   ([`dls_protocol::runtime::run_session`]): m+1 OS threads per session
+//!   parked on condvar phase barriers, real `thread::sleep` for injected
+//!   delays, run sequentially over the batch.
+//! * **`"pooled"`** — the event-driven executor
+//!   ([`dls_protocol::executor::run_session_pooled_with`]): state-machine
+//!   processors stepped by one event loop per worker, sessions sharded by
+//!   index, virtual-time barriers and delays.
+//!
+//! Both paths run the *same* frozen batch: a fixed market (rates from
+//! [`crate::workloads::quantized_rates`] at a fixed seed) with session `k`
+//! playing scenario `k mod 8` from a chaos cycle (compliant, misreport,
+//! slack, crash, delay, garbage, corrupt payments, mute) — so the sweep
+//! exercises verdicts, fines and degraded re-runs, not just the happy
+//! path, and the executor's deterministic signature/dataset caches warm
+//! exactly as they would serving steady repeat traffic. The differential
+//! suite (`tests/tests/executor_differential.rs`) proves the two paths
+//! produce bit-identical `SessionOutcome`s, so the cells compare equal
+//! work.
+//!
+//! Honest-measurement notes, reflected in the JSON:
+//!
+//! * min-of-reps timing (warm steady state); big threaded cells run a
+//!   single rep;
+//! * the threaded path times a prefix sample of the batch
+//!   (`sessions_timed`, always a whole number of scenario cycles when
+//!   ≥ 8) because 1024 threaded sessions at m = 64 cost tens of minutes;
+//!   per-session cost is batch-independent on the sequential path;
+//! * both paths benefit from the process-wide deterministic key and
+//!   dataset caches; the pooled path additionally reuses signatures and
+//!   shares per-round broadcast verification.
+//!
+//! Covered by the workspace no-panic lint gate: measurement never
+//! unwraps — session errors surface as the harness error string.
+
+use std::time::Instant;
+
+use dls_dlt::SystemModel;
+use dls_protocol::config::{Behavior, ProcessorConfig, SessionConfig};
+use dls_protocol::executor::run_session_pooled_with;
+use dls_protocol::referee::Phase;
+use dls_protocol::runtime::run_session;
+use dls_protocol::FaultPlan;
+
+use crate::workloads::quantized_rates;
+
+/// Schema identifier written into the JSON header; bump when the layout of
+/// the file changes incompatibly.
+pub const SCHEMA: &str = "dls-bench-sessions-v1";
+
+/// Length of the frozen scenario cycle session `k` draws from
+/// (`k mod SCENARIO_CYCLE`).
+pub const SCENARIO_CYCLE: usize = 8;
+
+/// Everything that determines a sessions sweep; the workload is
+/// reproducible from the config alone (wall-clock numbers aside).
+#[derive(Debug, Clone)]
+pub struct SessionsConfig {
+    /// Seed for the market rates and all session key material.
+    pub seed: u64,
+    /// Bus communication rate `z` (dyadic).
+    pub z: f64,
+    /// Lower bound of the log-uniform rate range.
+    pub lo: f64,
+    /// Upper bound of the log-uniform rate range.
+    pub hi: f64,
+    /// Rates are quantized to multiples of `1/denom`.
+    pub denom: u32,
+    /// Market sizes.
+    pub m_sizes: Vec<usize>,
+    /// Sessions per batch.
+    pub batch_sizes: Vec<usize>,
+    /// Worker threads for the pooled path.
+    pub workers: usize,
+    /// Blocks per session load.
+    pub blocks: usize,
+    /// At most this many threaded sessions are timed per cell (prefix of
+    /// the batch; the sequential path's per-session cost is
+    /// batch-independent).
+    pub threaded_sample_cap: usize,
+    /// Per-cell time budget in nanoseconds for the min-of-reps loop.
+    pub target_ns_per_cell: u128,
+}
+
+impl SessionsConfig {
+    /// The full sweep behind the committed `BENCH_sessions.json`.
+    pub fn full() -> Self {
+        SessionsConfig {
+            seed: 42,
+            z: 0.0625,
+            lo: 1.0,
+            hi: 8.0,
+            denom: 64,
+            m_sizes: vec![4, 16, 64],
+            batch_sizes: vec![1, 64, 1024],
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            blocks: 60,
+            threaded_sample_cap: 16,
+            target_ns_per_cell: 1_000_000_000,
+        }
+    }
+
+    /// A seconds-scale subset used by the tier-1 schema/sanity test.
+    pub fn quick() -> Self {
+        SessionsConfig {
+            m_sizes: vec![4, 16],
+            batch_sizes: vec![1, 8],
+            threaded_sample_cap: 2,
+            target_ns_per_cell: 50_000_000,
+            ..SessionsConfig::full()
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct SessionsEntry {
+    /// Model slug (the sweep runs NCP-FE, the paper's primary model).
+    pub model: &'static str,
+    /// Market size.
+    pub m: usize,
+    /// Sessions per batch.
+    pub batch: usize,
+    /// `"threaded"` or `"pooled"`.
+    pub path: &'static str,
+    /// Sessions actually executed in the timed block (the full batch on
+    /// the pooled path; a prefix sample on the threaded path).
+    pub sessions_timed: usize,
+    /// Best-of-reps wall-clock per session, nanoseconds (fractional).
+    pub ns_per_session: f64,
+    /// Derived rate, sessions per second (rounded).
+    pub sessions_per_sec: u128,
+}
+
+/// The frozen chaos cycle: which deviation (if any) session `k` injects.
+/// Everything is builder-valid at the default 5 s phase budget and any
+/// `m ≥ 4`; index arithmetic keeps the victim/faulty parties distinct from
+/// the originator so the sweep exercises both verdict-clean rounds and
+/// degraded re-runs.
+fn scenario_processors(m: usize, rates: &[f64], k: usize) -> Vec<ProcessorConfig> {
+    let mut ps: Vec<ProcessorConfig> = rates
+        .iter()
+        .map(|&w| ProcessorConfig::new(w, Behavior::Compliant))
+        .collect();
+    let last = m.saturating_sub(1);
+    let apply = |p: &mut ProcessorConfig, b: Behavior| p.behavior = b;
+    match k % SCENARIO_CYCLE {
+        1 => {
+            if let Some(p) = ps.get_mut(1) {
+                apply(p, Behavior::Misreport { factor: 1.25 });
+            }
+        }
+        2 => {
+            if let Some(p) = ps.get_mut(2) {
+                apply(p, Behavior::Slack { factor: 1.5 });
+            }
+        }
+        3 => {
+            if let Some(p) = ps.get_mut(last) {
+                p.fault = FaultPlan::CrashAt(Phase::Processing);
+            }
+        }
+        4 => {
+            if let Some(p) = ps.get_mut(1) {
+                p.fault = FaultPlan::DelayAt(Phase::Bidding, 2);
+            }
+        }
+        5 => {
+            if let Some(p) = ps.get_mut(2) {
+                p.fault = FaultPlan::GarbageAt(Phase::Payments);
+            }
+        }
+        6 => {
+            if let Some(p) = ps.get_mut(1) {
+                apply(p, Behavior::CorruptPayments { target: 0, factor: 2.0 });
+            }
+        }
+        7 => {
+            if let Some(p) = ps.get_mut(last) {
+                p.fault = FaultPlan::MuteAt(Phase::Allocating);
+            }
+        }
+        _ => {}
+    }
+    ps
+}
+
+/// The frozen batch for one cell: `batch` sessions over the fixed
+/// `m`-market, session `k` playing scenario `k mod 8`.
+pub fn session_batch(
+    cfg: &SessionsConfig,
+    m: usize,
+    batch: usize,
+) -> Result<Vec<SessionConfig>, String> {
+    let rates = quantized_rates(m, cfg.lo, cfg.hi, cfg.seed, cfg.denom);
+    (0..batch)
+        .map(|k| {
+            SessionConfig::builder(SystemModel::NcpFe, cfg.z)
+                .processors(scenario_processors(m, &rates, k))
+                .blocks(cfg.blocks)
+                .seed(cfg.seed)
+                .build()
+                .map_err(|e| format!("scenario {k} for m={m} failed to build: {e}"))
+        })
+        .collect()
+}
+
+/// Min-of-reps timing with explicit bounds: at least `min_reps`, at most
+/// `max_reps`, stopping once `target_ns` total has elapsed.
+fn time_ns_bounded<R>(
+    target_ns: u128,
+    min_reps: u32,
+    max_reps: u32,
+    mut op: impl FnMut() -> R,
+) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut reps: u32 = 0;
+    let mut total: u128 = 0;
+    let mut last;
+    loop {
+        let t0 = Instant::now();
+        last = op();
+        let dt = t0.elapsed().as_nanos();
+        best = best.min(dt);
+        total += dt;
+        reps += 1;
+        if reps >= min_reps && (total >= target_ns || reps >= max_reps) {
+            return (best, last);
+        }
+    }
+}
+
+fn sessions_per_sec(sessions: u128, ns: u128) -> u128 {
+    if ns == 0 {
+        return 0;
+    }
+    (sessions as f64 * 1e9 / ns as f64).round() as u128
+}
+
+/// Runs the whole sweep, emitting progress on stderr.
+pub fn run_sweep(cfg: &SessionsConfig) -> Result<Vec<SessionsEntry>, String> {
+    let mut entries = Vec::new();
+    for &m in &cfg.m_sizes {
+        for &batch in &cfg.batch_sizes {
+            if batch == 0 {
+                continue;
+            }
+            let cfgs = session_batch(cfg, m, batch)?;
+
+            // Pooled path: the whole batch through the worker pool.
+            let (ns_block, last) = time_ns_bounded(cfg.target_ns_per_cell, 2, 64, || {
+                for r in run_session_pooled_with(&cfgs, cfg.workers) {
+                    r.map_err(|e| format!("pooled session failed: {e}"))?;
+                }
+                Ok::<(), String>(())
+            });
+            last?;
+            let ns = ns_block as f64 / batch as f64;
+            let ops = sessions_per_sec(batch as u128, ns_block);
+            eprintln!("ncp-fe   m={m:4} batch={batch:5} pooled   {ns:>14.1} ns/session  {ops:>8} sessions/s");
+            entries.push(SessionsEntry {
+                model: "ncp-fe",
+                m,
+                batch,
+                path: "pooled",
+                sessions_timed: batch,
+                ns_per_session: ns,
+                sessions_per_sec: ops,
+            });
+
+            // Threaded path: a prefix sample, sequentially (per-session
+            // cost is batch-independent on this path). Single rep once the
+            // sample is thread-pool-scale work.
+            let sample = batch.min(cfg.threaded_sample_cap.max(1));
+            let sampled = cfgs.get(..sample).unwrap_or(&cfgs);
+            let big = m * sample >= 256;
+            let max_reps = if big { 1 } else { 16 };
+            let (ns_block, last) = time_ns_bounded(cfg.target_ns_per_cell, 1, max_reps, || {
+                for c in sampled {
+                    run_session(c).map_err(|e| format!("threaded session failed: {e}"))?;
+                }
+                Ok::<(), String>(())
+            });
+            last?;
+            let ns = ns_block as f64 / sample as f64;
+            let ops = sessions_per_sec(sample as u128, ns_block);
+            eprintln!("ncp-fe   m={m:4} batch={batch:5} threaded {ns:>14.1} ns/session  {ops:>8} sessions/s  (sample={sample})");
+            entries.push(SessionsEntry {
+                model: "ncp-fe",
+                m,
+                batch,
+                path: "threaded",
+                sessions_timed: sample,
+                ns_per_session: ns,
+                sessions_per_sec: ops,
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// Speedup of the pooled path over the threaded path at `(m, batch)`;
+/// `None` when either entry is missing.
+pub fn pooled_speedup(entries: &[SessionsEntry], m: usize, batch: usize) -> Option<f64> {
+    let find = |path: &str| {
+        entries
+            .iter()
+            .find(|e| e.m == m && e.batch == batch && e.path == path)
+            .map(|e| e.ns_per_session)
+    };
+    let (pooled, threaded) = (find("pooled")?, find("threaded")?);
+    if pooled <= 0.0 {
+        return None;
+    }
+    Some(threaded / pooled)
+}
+
+/// Renders the sweep as the committed `BENCH_sessions.json` document.
+/// Hand-rolled writer (the workspace deliberately has no JSON dependency);
+/// all dynamic values are numbers and short slugs, so escaping is not
+/// needed.
+pub fn render_json(cfg: &SessionsConfig, entries: &[SessionsEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"seed\": {}, \"z\": {:?}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"blocks\": {}, \"workers\": {}, \"scenario_cycle\": {}, \"threaded_sample_cap\": {}}},\n",
+        cfg.seed,
+        cfg.z,
+        cfg.lo,
+        cfg.hi,
+        cfg.denom,
+        cfg.blocks,
+        cfg.workers,
+        SCENARIO_CYCLE,
+        cfg.threaded_sample_cap
+    ));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"m\": {}, \"batch\": {}, \"path\": \"{}\", \"sessions_timed\": {}, \"ns_per_session\": {:?}, \"sessions_per_sec\": {}}}{sep}\n",
+            e.model, e.m, e.batch, e.path, e.sessions_timed, e.ns_per_session, e.sessions_per_sec
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_and_cycle_scenarios() {
+        let cfg = SessionsConfig::quick();
+        let a = session_batch(&cfg, 4, 10).unwrap();
+        let b = session_batch(&cfg, 4, 10).unwrap();
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.processors, y.processors);
+            assert_eq!(x.seed, y.seed);
+        }
+        // Session 8 replays scenario 0 (all compliant, no faults).
+        assert_eq!(a[8].processors, a[0].processors);
+        // Scenario 3 injects a crash; scenario 0 does not.
+        assert_ne!(a[3].processors, a[0].processors);
+    }
+
+    #[test]
+    fn every_scenario_builds_at_m4_and_m64() {
+        let cfg = SessionsConfig::quick();
+        for m in [4usize, 64] {
+            let batch = session_batch(&cfg, m, SCENARIO_CYCLE).unwrap();
+            assert_eq!(batch.len(), SCENARIO_CYCLE);
+        }
+    }
+
+    #[test]
+    fn render_json_has_schema_and_balanced_braces() {
+        let cfg = SessionsConfig::quick();
+        let entries = vec![SessionsEntry {
+            model: "ncp-fe",
+            m: 16,
+            batch: 64,
+            path: "pooled",
+            sessions_timed: 64,
+            ns_per_session: 812_500.25,
+            sessions_per_sec: 1231,
+        }];
+        let json = render_json(&cfg, &entries);
+        assert!(json.contains("\"schema\": \"dls-bench-sessions-v1\""));
+        assert!(json.contains("\"path\": \"pooled\""));
+        assert!(json.contains("\"ns_per_session\": 812500.25"));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(opens, 3, "root + config + one entry");
+    }
+
+    #[test]
+    fn pooled_speedup_reads_matching_entries() {
+        let mk = |path: &'static str, ns: f64| SessionsEntry {
+            model: "ncp-fe",
+            m: 16,
+            batch: 1024,
+            path,
+            sessions_timed: 16,
+            ns_per_session: ns,
+            sessions_per_sec: 0,
+        };
+        let entries = vec![mk("pooled", 100.0), mk("threaded", 1500.0)];
+        assert_eq!(pooled_speedup(&entries, 16, 1024), Some(15.0));
+        assert_eq!(pooled_speedup(&entries, 4, 1024), None);
+    }
+}

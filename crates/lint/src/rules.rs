@@ -41,10 +41,10 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         NO_PANIC_IN_PROTOCOL,
         "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and \
          slice indexing are forbidden in protocol hot paths \
-         (protocol/src/{runtime,referee,ledger,messages,fault,config}.rs, \
-         mechanism/src/{engine,batch}.rs, bench/src/throughput.rs); a \
-         malformed message must yield a typed error, not a crashed session \
-         (Lemma 5.1)",
+         (protocol/src/{runtime,referee,ledger,messages,fault,config,\
+         executor,sched}.rs, mechanism/src/{engine,batch}.rs, \
+         bench/src/{throughput,sessions}.rs); a malformed message must \
+         yield a typed error, not a crashed session (Lemma 5.1)",
     ),
     (
         CRATE_HYGIENE,
@@ -83,6 +83,10 @@ pub fn float_rule_applies(rel_path: &str) -> bool {
 /// lets a deviant bid crash the auctioneer mid-round. The fault/degradation
 /// modules (`fault.rs`, `config.rs`) qualify for the same reason inverted:
 /// the layer that turns crashes into typed reports must not itself panic.
+/// The event-driven executor (`executor.rs`, `sched.rs`) multiplexes many
+/// sessions on one thread, so a panic there takes down every session in the
+/// shard, not just the faulty one; the sessions sweep rides along because it
+/// drives both paths from benchmark binaries that must report, not abort.
 pub fn panic_rule_applies(rel_path: &str) -> bool {
     matches!(
         rel_path,
@@ -92,9 +96,12 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
             | "crates/protocol/src/messages.rs"
             | "crates/protocol/src/fault.rs"
             | "crates/protocol/src/config.rs"
+            | "crates/protocol/src/executor.rs"
+            | "crates/protocol/src/sched.rs"
             | "crates/mechanism/src/engine.rs"
             | "crates/mechanism/src/batch.rs"
             | "crates/bench/src/throughput.rs"
+            | "crates/bench/src/sessions.rs"
     )
 }
 

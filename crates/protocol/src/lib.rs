@@ -69,13 +69,16 @@
 pub mod blocks;
 pub mod centralized;
 pub mod config;
+pub mod executor;
 pub mod fault;
 pub mod ledger;
 pub mod messages;
 pub mod referee;
 pub mod runtime;
+pub mod sched;
 
 pub use config::{Behavior, ProcessorConfig, SessionConfig};
+pub use executor::{run_session_pooled, run_session_pooled_with, run_session_vm, ProcessorState};
 pub use fault::{DegradationReport, FaultKind, FaultPlan, LivenessFault};
 pub use runtime::{
     run_session, ActorRole, ProtocolViolation, RunError, SessionOutcome, SessionStatus,

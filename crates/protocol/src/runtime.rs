@@ -225,7 +225,7 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// A missing-message error at a lock-step phase boundary.
-fn missing(what: &'static str, phase: Phase) -> RunError {
+pub(crate) fn missing(what: &'static str, phase: Phase) -> RunError {
     RunError::Protocol(ProtocolViolation::missing_message(what).at_phase(phase))
 }
 
@@ -251,7 +251,7 @@ pub struct MessageStats {
 }
 
 impl MessageStats {
-    fn record(&mut self, category: MsgCategory, copies: u64, bytes_each: u64) {
+    pub(crate) fn record(&mut self, category: MsgCategory, copies: u64, bytes_each: u64) {
         let key = match category {
             MsgCategory::Bid => "bid",
             MsgCategory::Grant => "grant",
@@ -271,7 +271,7 @@ impl MessageStats {
 
     /// Accumulates another stats block into this one (used to total the
     /// traffic of a multi-round degraded session).
-    fn merge(&mut self, other: &MessageStats) {
+    pub(crate) fn merge(&mut self, other: &MessageStats) {
         for (key, (copies, bytes)) in &other.counts {
             let e = self.counts.entry(key).or_insert((0, 0));
             e.0 += copies;
@@ -730,6 +730,18 @@ fn ledger_sums(ledger: &Ledger, orig: usize) -> (f64, f64) {
 /// If exclusions leave fewer than two live processors the session errors
 /// with [`ViolationKind::QuorumLost`].
 pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
+    run_session_with(cfg, run_round)
+}
+
+/// The session loop shared by the threaded runtime and the event-driven
+/// executor: degradation bookkeeping, ledger movements, withheld payments,
+/// the realized timeline and outcome assembly are literally the same code
+/// for both paths — only the round runner differs. This is the structural
+/// half of the executor's bit-exactness argument.
+pub(crate) fn run_session_with(
+    cfg: &SessionConfig,
+    mut round_fn: impl FnMut(&SessionConfig, &[usize]) -> Result<RoundOutput, RunError>,
+) -> Result<SessionOutcome, RunError> {
     if cfg.model == SystemModel::Cp {
         return Err(RunError::UnsupportedModel);
     }
@@ -755,7 +767,7 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     let (round_active, round) = loop {
         degradation.rounds += 1;
         let round_active = active.clone();
-        let round = run_round(cfg, &round_active)?;
+        let round = round_fn(cfg, &round_active)?;
         any_fines |= round.rr.any_fines;
         messages.merge(&round.messages);
 
@@ -972,35 +984,31 @@ pub fn run_session(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
 }
 
 /// Everything one protocol round produced (active-set indexing).
-struct RoundOutput {
+pub(crate) struct RoundOutput {
     /// The remapped configs the round's processors played, active order.
-    procs: Vec<ProcessorConfig>,
+    pub(crate) procs: Vec<ProcessorConfig>,
     /// Per-processor partial results, active order.
-    proc_results: Vec<ProcResult>,
+    pub(crate) proc_results: Vec<ProcResult>,
     /// The referee's round result.
-    rr: RefResult,
+    pub(crate) rr: RefResult,
     /// Traffic of this round alone.
-    messages: MessageStats,
+    pub(crate) messages: MessageStats,
 }
 
-/// Runs one protocol round over `active` (original indices). Each round
-/// is self-contained: identities `P1..Pk`, keys, registry and data set are
-/// re-derived from the session seed, so a survivor re-run is bit-identical
-/// to a from-scratch session over the same participant set.
-fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunError> {
-    let m = active.len();
-    if m < 2 {
-        return Err(RunError::TooFewParticipants);
-    }
+/// Remaps index-bearing behaviours into active coordinates. A behaviour
+/// whose victim/target is not active degrades to Compliant. Shared by the
+/// threaded round runner and the event-driven executor so both paths play
+/// exactly the same remapped strategies.
+pub(crate) fn remap_active_configs(
+    cfg: &SessionConfig,
+    active: &[usize],
+) -> Vec<ProcessorConfig> {
     let to_active: BTreeMap<usize, usize> = active
         .iter()
         .enumerate()
         .map(|(pos, &orig)| (orig, pos))
         .collect();
-
-    // Remap index-bearing behaviours into active coordinates. A behaviour
-    // whose victim/target is not active degrades to Compliant.
-    let procs: Vec<ProcessorConfig> = active
+    active
         .iter()
         .filter_map(|&orig| cfg.processors.get(orig))
         .map(|p| {
@@ -1032,7 +1040,19 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
                 fault: p.fault,
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Runs one protocol round over `active` (original indices). Each round
+/// is self-contained: identities `P1..Pk`, keys, registry and data set are
+/// re-derived from the session seed, so a survivor re-run is bit-identical
+/// to a from-scratch session over the same participant set.
+fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunError> {
+    let m = active.len();
+    if m < 2 {
+        return Err(RunError::TooFewParticipants);
+    }
+    let procs: Vec<ProcessorConfig> = remap_active_configs(cfg, active);
 
     // --- Initialization phase: PKI + user-signed data set -----------------
     // Key generation is by far the most expensive setup step; identities
@@ -1047,9 +1067,7 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
         .pop()
         .ok_or_else(|| RunError::Crypto("key generation returned no user key".into()))?;
     let registry = Registry::from_keypairs(keys.iter().chain(std::iter::once(&user)));
-    let dataset = Arc::new(
-        DataSet::prepare(&user, cfg.blocks, 32).map_err(|e| RunError::Crypto(e.to_string()))?,
-    );
+    let dataset = crate::executor::dataset_cached(cfg.seed, cfg.key_bits, cfg.blocks, &user)?;
 
     // Only the CP model lacks an originator, and it was rejected above.
     let originator = cfg.model.originator(m).ok_or(RunError::UnsupportedModel)?;
@@ -1113,6 +1131,7 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
             };
             let ctx = ProcCtx {
                 i,
+                budget_ms: cfg.phase_budget_ms,
                 m,
                 model,
                 z,
@@ -1201,7 +1220,7 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
 
 /// Parallel, cached deterministic key generation. Each `(identity, seed,
 /// bits)` triple always yields the same key pair within a process.
-fn generate_keys_cached(
+pub(crate) fn generate_keys_cached(
     identities: &[String],
     bits: usize,
     seed: u64,
@@ -1278,12 +1297,17 @@ fn generate_keys_cached(
 // ---------------------------------------------------------------------------
 
 /// Phase-entry hook: `true` means the thread must exit now (crash fault).
-/// A delay fault sleeps here and then proceeds normally.
-fn fault_entry(fault: &FaultPlan, phase: Phase) -> bool {
+/// A delay fault sleeps here and then proceeds normally. The sleep is
+/// bounded by the phase budget: the config builder already rejects
+/// `DelayAt` delays at or above `phase_budget_ms`, but a hand-assembled
+/// config must not be able to stall a test run past the deadline the
+/// referee is already enforcing (the pooled executor advances a virtual
+/// clock instead and never sleeps at all).
+fn fault_entry(fault: &FaultPlan, phase: Phase, budget_ms: u64) -> bool {
     match fault {
         FaultPlan::CrashAt(p) if *p == phase => true,
         FaultPlan::DelayAt(p, ms) if *p == phase => {
-            std::thread::sleep(Duration::from_millis(*ms));
+            std::thread::sleep(Duration::from_millis((*ms).min(budget_ms)));
             false
         }
         _ => false,
@@ -1292,7 +1316,7 @@ fn fault_entry(fault: &FaultPlan, phase: Phase) -> bool {
 
 /// Outbound-message hook: `None` drops the message (mute), a garbage
 /// frame replaces it for a garbling fault, otherwise it passes through.
-fn faulted_send(fault: &FaultPlan, phase: Phase, from: usize, msg: Msg) -> Option<Msg> {
+pub(crate) fn faulted_send(fault: &FaultPlan, phase: Phase, from: usize, msg: Msg) -> Option<Msg> {
     if fault.garbles(phase) {
         Some(Msg::Garbage { from })
     } else if fault.silences(phase) {
@@ -1308,6 +1332,8 @@ fn faulted_send(fault: &FaultPlan, phase: Phase, from: usize, msg: Msg) -> Optio
 
 struct ProcCtx {
     i: usize,
+    /// Phase budget in milliseconds; bounds injected delay sleeps.
+    budget_ms: u64,
     m: usize,
     model: SystemModel,
     z: f64,
@@ -1324,16 +1350,17 @@ struct ProcCtx {
 }
 
 #[derive(Debug, Clone, Default)]
-struct ProcResult {
-    bid: Option<f64>,
-    alloc_fraction: f64,
-    blocks_granted: usize,
-    meter: f64,
+pub(crate) struct ProcResult {
+    pub(crate) bid: Option<f64>,
+    pub(crate) alloc_fraction: f64,
+    pub(crate) blocks_granted: usize,
+    pub(crate) meter: f64,
 }
 
 fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
     let ProcCtx {
         i,
+        budget_ms,
         m,
         model,
         z,
@@ -1353,7 +1380,7 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
     let mut result = ProcResult::default();
 
     // ---- Phase 1: Bidding --------------------------------------------------
-    if fault_entry(&fault, Phase::Bidding) {
+    if fault_entry(&fault, Phase::Bidding, budget_ms) {
         return Ok(result); // crash: never arrives at a barrier
     }
     let my_bid = cfg.bid().ok_or_else(|| {
@@ -1464,7 +1491,7 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
     }
 
     // ---- Phase 2: Allocating load -------------------------------------------
-    if fault_entry(&fault, Phase::Allocating) {
+    if fault_entry(&fault, Phase::Allocating, budget_ms) {
         return Ok(result);
     }
     // Everyone has exactly one bid per peer now (otherwise the session
@@ -1597,7 +1624,7 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
     }
 
     // ---- Phase 3: Processing -------------------------------------------------
-    if fault_entry(&fault, Phase::Processing) {
+    if fault_entry(&fault, Phase::Processing, budget_ms) {
         return Ok(result); // crash: the blocks are never processed
     }
     // The tamper-proof meter measures the time actually spent computing:
@@ -1621,7 +1648,7 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
         .ok_or_else(|| missing("meter vector", Phase::Processing))?;
 
     // ---- Phase 4: Computing payments ------------------------------------------
-    if fault_entry(&fault, Phase::Payments) {
+    if fault_entry(&fault, Phase::Payments, budget_ms) {
         return Ok(result);
     }
     // w̃_j = φ_j / α_j (per §4, Computing Payments).
@@ -1685,23 +1712,23 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-struct RefResult {
-    aborted: Option<Phase>,
-    any_fines: bool,
-    verdicts: Vec<(Phase, Verdict)>,
-    meters: Option<Vec<f64>>,
-    final_q: Option<Vec<PaymentEntry>>,
+pub(crate) struct RefResult {
+    pub(crate) aborted: Option<Phase>,
+    pub(crate) any_fines: bool,
+    pub(crate) verdicts: Vec<(Phase, Verdict)>,
+    pub(crate) meters: Option<Vec<f64>>,
+    pub(crate) final_q: Option<Vec<PaymentEntry>>,
     /// Liveness faults detected this round (active-set indexing).
-    faults: Vec<LivenessFault>,
+    pub(crate) faults: Vec<LivenessFault>,
     /// Parties defaulted by the verdict that aborted the round
     /// (pre-Processing liveness faults, active-set indexing).
-    defaulted_pre: Vec<usize>,
+    pub(crate) defaulted_pre: Vec<usize>,
     /// Processors that delivered a verified payment vector of their own.
-    delivered_vectors: BTreeSet<usize>,
+    pub(crate) delivered_vectors: BTreeSet<usize>,
     /// `true` when the aborting verdict also fined a *strategic* deviant
     /// (evidence-based offence); such a session ends aborted instead of
     /// re-running, exactly as before faults existed.
-    strategic_abort: bool,
+    pub(crate) strategic_abort: bool,
 }
 
 /// The referee's liveness bookkeeping for one round: which parties are
@@ -1797,7 +1824,7 @@ impl RoundWatch {
 /// set is fined per the §4 schedule (`F` each, pot split among survivors)
 /// and the verdict aborts iff `abort`. Returns the merged verdict and
 /// whether the *strategic* verdict alone already fined someone.
-fn merge_defaults(
+pub(crate) fn merge_defaults(
     referee: &Referee,
     strategic: Verdict,
     defaulted: &BTreeSet<usize>,
@@ -2027,7 +2054,7 @@ fn collect_reports(rx: &Receiver<(usize, Msg)>) -> (Vec<(usize, PhaseReport)>, V
     (out, garbage)
 }
 
-fn record_verdict(result: &mut RefResult, phase: Phase, verdict: &Verdict) {
+pub(crate) fn record_verdict(result: &mut RefResult, phase: Phase, verdict: &Verdict) {
     if !verdict.fined.is_empty() {
         result.any_fines = true;
     }
@@ -2036,7 +2063,7 @@ fn record_verdict(result: &mut RefResult, phase: Phase, verdict: &Verdict) {
 
 /// Equality check across submitted payment vectors: requires a verified
 /// vector from each of the `m` processors, all numerically equal.
-fn vectors_all_equal(
+pub(crate) fn vectors_all_equal(
     vectors: &[Signed<PaymentVectorBody>],
     m: usize,
     referee: &Referee,
@@ -2071,7 +2098,7 @@ fn vectors_all_equal(
     })
 }
 
-fn verify_bid_view(
+pub(crate) fn verify_bid_view(
     view: &[Signed<BidBody>],
     m: usize,
     referee: &Referee,
@@ -2103,15 +2130,15 @@ fn verify_bid_view(
 
 // Small accessors so the referee actor can reuse the referee's public
 // session facts without widening Referee's API surface.
-fn referee_registry(r: &Referee) -> &Registry {
+pub(crate) fn referee_registry(r: &Referee) -> &Registry {
     r.registry()
 }
 
-fn referee_model(r: &Referee) -> SystemModel {
+pub(crate) fn referee_model(r: &Referee) -> SystemModel {
     r.model()
 }
 
-fn referee_z(r: &Referee) -> f64 {
+pub(crate) fn referee_z(r: &Referee) -> f64 {
     r.z()
 }
 

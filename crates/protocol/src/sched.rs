@@ -1,0 +1,287 @@
+//! Deterministic scheduling primitives for the event-driven session
+//! executor ([`crate::executor`]).
+//!
+//! The threaded runtime spends real wall-clock time in two places: parties
+//! park on a condvar barrier at every phase boundary, and injected
+//! `DelayAt` faults call `thread::sleep`. The executor replaces both with
+//! **virtual time**: a per-session millisecond clock that only ever jumps
+//! forward to the completion time of the next phase barrier. A barrier is
+//! resolved by a tiny discrete-event loop — every party posts an *arrival*
+//! event (its injected delay past the phase start), the referee posts the
+//! *deadline* event (phase start + budget), and events are popped in
+//! `(time, sequence)` order. Parties whose arrival pops at or after the
+//! deadline are removed exactly like the threaded referee removes parties
+//! still missing when `wait_deadline_as` expires. The whole chaos matrix
+//! therefore resolves in microseconds of real time while reporting the
+//! same faults, verdicts and degradation as the threaded oracle.
+//!
+//! Also here: the fixed-pool *sharding* rule — session `s` belongs to
+//! worker `s mod workers`, no work stealing — so a batch of N sessions is
+//! deterministically partitioned no matter how many workers run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A session's virtual clock, in milliseconds. Starts at zero and advances
+/// only when a phase barrier completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero (session start).
+    pub fn new() -> Self {
+        VirtualClock { now_ms: 0 }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Jumps the clock forward to `t` (never backward: a barrier completes
+    /// at or after the time it started).
+    pub fn advance_to(&mut self, t: u64) {
+        self.now_ms = self.now_ms.max(t);
+    }
+}
+
+/// What a scheduled event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Party `id` arrives at the current barrier.
+    Arrive(usize),
+    /// The referee's phase deadline expires.
+    Deadline,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time_ms: u64,
+    // Encoded so `Ord` can be derived: arrivals before the deadline at the
+    // same timestamp would be a tie the threaded barrier resolves as
+    // "removed" (the deadline check runs `now >= deadline`), so the
+    // deadline must win ties — `kind_rank` (0 = Deadline, 1 = Arrive)
+    // therefore sorts before the insertion sequence.
+    kind_rank: u8,
+    seq: u64,
+    party: usize,
+}
+
+impl Event {
+    fn kind(&self) -> EventKind {
+        if self.kind_rank == 0 {
+            EventKind::Deadline
+        } else {
+            EventKind::Arrive(self.party)
+        }
+    }
+}
+
+/// A deterministic min-heap of timed events. Ties on the timestamp are
+/// broken by kind (deadline first, matching the threaded barrier's
+/// `now >= deadline` removal check) and then by insertion order, so a
+/// replay of the same pushes always pops the same sequence.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time_ms`.
+    pub fn push(&mut self, time_ms: u64, kind: EventKind) {
+        let (kind_rank, party) = match kind {
+            EventKind::Deadline => (0, usize::MAX),
+            EventKind::Arrive(id) => (1, id),
+        };
+        self.heap.push(Reverse(Event {
+            time_ms,
+            seq: self.seq,
+            kind_rank,
+            party,
+        }));
+        self.seq = self.seq.wrapping_add(1);
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(u64, EventKind)> {
+        self.heap.pop().map(|Reverse(e)| (e.time_ms, e.kind()))
+    }
+
+    /// Discards all pending events (reused across barriers and sessions so
+    /// a worker allocates its heap once).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// The outcome of one resolved phase barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierOutcome {
+    /// Virtual time at which the barrier completed: the latest surviving
+    /// arrival, or the deadline when parties were removed.
+    pub completed_at_ms: u64,
+    /// Parties removed because their arrival missed the deadline, in
+    /// ascending id order (the threaded barrier also reports its missing
+    /// set in id order).
+    pub removed: Vec<usize>,
+}
+
+/// Resolves one phase barrier in virtual time.
+///
+/// `arrivals` lists `(party, delay_ms)` for every party expected at the
+/// barrier; `delay_ms` is the party's injected delay past the phase start
+/// (zero for everyone without a matching `DelayAt` fault). The referee's
+/// deadline sits at `now_ms + budget_ms`. A party whose arrival would pop
+/// at or after the deadline event is removed — mirroring the threaded
+/// semantics where the sleeping thread is still absent when the referee's
+/// `wait_deadline_as` expires and is dropped from the barrier.
+pub fn resolve_barrier(
+    queue: &mut EventQueue,
+    now_ms: u64,
+    budget_ms: u64,
+    arrivals: &[(usize, u64)],
+) -> BarrierOutcome {
+    queue.clear();
+    let deadline = now_ms.saturating_add(budget_ms);
+    queue.push(deadline, EventKind::Deadline);
+    for &(party, delay_ms) in arrivals {
+        queue.push(now_ms.saturating_add(delay_ms), EventKind::Arrive(party));
+    }
+    let mut arrived: Vec<usize> = Vec::with_capacity(arrivals.len());
+    let mut latest_arrival = now_ms;
+    let mut removed: Vec<usize> = Vec::new();
+    let mut deadline_hit = false;
+    while let Some((t, kind)) = queue.pop() {
+        match kind {
+            EventKind::Arrive(id) if !deadline_hit => {
+                arrived.push(id);
+                latest_arrival = latest_arrival.max(t);
+            }
+            EventKind::Arrive(id) => removed.push(id),
+            EventKind::Deadline => {
+                if arrived.len() == arrivals.len() {
+                    // Everyone made it before the deadline popped; the
+                    // remaining event would only have been the deadline.
+                    break;
+                }
+                deadline_hit = true;
+            }
+        }
+    }
+    removed.sort_unstable();
+    BarrierOutcome {
+        completed_at_ms: if deadline_hit { deadline } else { latest_arrival },
+        removed,
+    }
+}
+
+/// The indices of worker `worker` under the fixed sharding rule: session
+/// `s` belongs to worker `s mod workers`. Returns an empty iterator for a
+/// worker id at or beyond `workers` (callers never spawn those).
+pub fn shard(sessions: usize, workers: usize, worker: usize) -> impl Iterator<Item = usize> {
+    let stride = workers.max(1);
+    let valid = worker < stride;
+    (worker.min(sessions)..sessions)
+        .step_by(stride)
+        .filter(move |_| valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_never_moves_backward() {
+        let mut c = VirtualClock::new();
+        c.advance_to(10);
+        c.advance_to(5);
+        assert_eq!(c.now_ms(), 10);
+    }
+
+    #[test]
+    fn queue_pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Arrive(2));
+        q.push(3, EventKind::Arrive(0));
+        q.push(5, EventKind::Arrive(1));
+        assert_eq!(q.pop(), Some((3, EventKind::Arrive(0))));
+        assert_eq!(q.pop(), Some((5, EventKind::Arrive(2))));
+        assert_eq!(q.pop(), Some((5, EventKind::Arrive(1))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn deadline_wins_timestamp_ties() {
+        let mut q = EventQueue::new();
+        q.push(7, EventKind::Arrive(0));
+        q.push(7, EventKind::Deadline);
+        assert_eq!(q.pop(), Some((7, EventKind::Deadline)));
+    }
+
+    #[test]
+    fn barrier_all_on_time() {
+        let mut q = EventQueue::new();
+        let out = resolve_barrier(&mut q, 100, 50, &[(0, 0), (1, 5), (2, 0)]);
+        assert_eq!(out.removed, Vec::<usize>::new());
+        assert_eq!(out.completed_at_ms, 105);
+    }
+
+    #[test]
+    fn barrier_removes_over_budget_party() {
+        let mut q = EventQueue::new();
+        let out = resolve_barrier(&mut q, 0, 50, &[(0, 0), (1, 60), (2, 10)]);
+        assert_eq!(out.removed, vec![1]);
+        assert_eq!(out.completed_at_ms, 50);
+    }
+
+    #[test]
+    fn barrier_removes_exactly_at_deadline() {
+        // delay == budget: the deadline event outranks the tied arrival,
+        // mirroring the threaded `now >= deadline` removal check.
+        let mut q = EventQueue::new();
+        let out = resolve_barrier(&mut q, 0, 50, &[(0, 0), (1, 50)]);
+        assert_eq!(out.removed, vec![1]);
+        assert_eq!(out.completed_at_ms, 50);
+    }
+
+    #[test]
+    fn barrier_with_no_delays_completes_at_now() {
+        let mut q = EventQueue::new();
+        let out = resolve_barrier(&mut q, 42, 50, &[(0, 0), (1, 0)]);
+        assert_eq!(out.completed_at_ms, 42);
+        assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn shard_partitions_exactly() {
+        // 5 sessions over 4 workers: the uneven-shard shape from the PR-3
+        // batch-sizing bug. Every session appears exactly once.
+        let mut seen = vec![0usize; 5];
+        for w in 0..4 {
+            for s in shard(5, 4, w) {
+                seen[s] += 1;
+            }
+        }
+        assert_eq!(seen, vec![1; 5]);
+        assert_eq!(shard(5, 4, 0).collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(shard(5, 4, 3).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn shard_degenerate_worker_counts() {
+        assert_eq!(shard(3, 1, 0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(shard(0, 4, 1).count(), 0);
+        assert_eq!(shard(2, 8, 7).count(), 0);
+    }
+}

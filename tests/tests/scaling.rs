@@ -6,6 +6,7 @@ use dls::protocol::config::{Behavior, ProcessorConfig, SessionConfig};
 use dls::protocol::runtime::run_session;
 use dls::{SessionStatus, SystemModel};
 use dls_bench::payments::{render_json, run_sweep, workload, SweepConfig, SCHEMA};
+use dls_bench::sessions;
 use dls_bench::throughput;
 
 fn rates(m: usize) -> Vec<f64> {
@@ -349,5 +350,121 @@ fn throughput_bench_json_matches_documented_schema() {
     match std::fs::read_to_string(committed) {
         Ok(json) => validate_throughput_json(&json),
         Err(_) => eprintln!("BENCH_throughput.json not present; skipping committed-file check"),
+    }
+}
+
+/// Structural validation of a sessions-benchmark JSON document against the
+/// schema documented in EXPERIMENTS.md — same hand-rolled line-level style
+/// as [`validate_payments_json`].
+fn validate_sessions_json(json: &str) {
+    assert!(
+        json.contains(&format!("\"schema\": \"{}\"", sessions::SCHEMA)),
+        "schema marker missing"
+    );
+    assert!(json.contains("\"config\":"), "config object missing");
+    let mut entries = 0;
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"model\"") {
+            continue;
+        }
+        entries += 1;
+        for key in [
+            "\"model\": ",
+            "\"m\": ",
+            "\"batch\": ",
+            "\"path\": ",
+            "\"sessions_timed\": ",
+            "\"ns_per_session\": ",
+            "\"sessions_per_sec\": ",
+        ] {
+            assert!(line.contains(key), "entry missing {key}: {line}");
+        }
+        assert!(
+            line.contains("\"path\": \"pooled\"") || line.contains("\"path\": \"threaded\""),
+            "unknown path in {line}"
+        );
+    }
+    assert!(entries > 0, "no entries found");
+    let opens = json.matches('{').count();
+    assert_eq!(opens, json.matches('}').count(), "unbalanced braces");
+}
+
+/// Extracts `ns_per_session` from the committed-JSON entry matching
+/// `(m, batch, path)`, if present.
+fn committed_ns_per_session(json: &str, m: usize, batch: usize, path: &str) -> Option<f64> {
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"model\"")
+            || !line.contains(&format!("\"m\": {m},"))
+            || !line.contains(&format!("\"batch\": {batch},"))
+            || !line.contains(&format!("\"path\": \"{path}\""))
+        {
+            continue;
+        }
+        let tail = line.split("\"ns_per_session\": ").nth(1)?;
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        return num.parse().ok();
+    }
+    None
+}
+
+/// A quick sessions sweep must cover every (m, batch, path) cell of its
+/// config, emit a document matching the documented schema, and show the
+/// pooled executor no slower than the threaded runtime at the largest
+/// quick cell. The committed `BENCH_sessions.json` (when present) must
+/// match the schema and carry the headline the tentpole exists for: the
+/// pooled executor at least 10× the threaded runtime's sessions/sec at
+/// m = 16, batch = 1024.
+#[test]
+fn sessions_bench_json_matches_documented_schema() {
+    let cfg = sessions::SessionsConfig::quick();
+    let entries = sessions::run_sweep(&cfg).expect("quick sweep must succeed");
+    for &m in &cfg.m_sizes {
+        for &batch in &cfg.batch_sizes {
+            for path in ["pooled", "threaded"] {
+                assert!(
+                    entries
+                        .iter()
+                        .any(|e| e.m == m && e.batch == batch && e.path == path),
+                    "missing {path} m={m} batch={batch}"
+                );
+            }
+        }
+    }
+    let (&m, &batch) = (
+        cfg.m_sizes.iter().max().expect("quick config has sizes"),
+        cfg.batch_sizes.iter().max().expect("quick config has batches"),
+    );
+    // Generous in-test bound (debug build, loaded CI): no regression to a
+    // pooled path slower than spawning m+1 threads per session. The real
+    // ≥ 10× criterion is asserted against the committed release JSON below.
+    let speedup = sessions::pooled_speedup(&entries, m, batch)
+        .expect("largest quick cell present on both paths");
+    assert!(
+        speedup >= 1.0,
+        "pooled executor slower than threaded runtime at m={m} batch={batch}: {speedup:.2}x"
+    );
+    validate_sessions_json(&sessions::render_json(&cfg, &entries));
+
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../BENCH_sessions.json");
+    match std::fs::read_to_string(committed) {
+        Ok(json) => {
+            validate_sessions_json(&json);
+            let pooled = committed_ns_per_session(&json, 16, 1024, "pooled")
+                .expect("committed file has the pooled m=16 batch=1024 cell");
+            let threaded = committed_ns_per_session(&json, 16, 1024, "threaded")
+                .expect("committed file has the threaded m=16 batch=1024 cell");
+            assert!(
+                pooled > 0.0 && threaded / pooled >= 10.0,
+                "committed BENCH_sessions.json no longer shows the >= 10x pooled speedup \
+                 at m=16 batch=1024: {:.1}x",
+                threaded / pooled
+            );
+        }
+        Err(_) => eprintln!("BENCH_sessions.json not present; skipping committed-file check"),
     }
 }

@@ -1,0 +1,271 @@
+//! Baseline support for the workspace lint gate.
+//!
+//! `lint_baseline.json` at the repo root records diagnostics that are
+//! temporarily accepted: the tier-1 gate fails on any finding *not* in the
+//! baseline, so new violations can't land silently, while a burn-down can
+//! be staged across PRs. The shipped baseline is empty — the workspace is
+//! fully clean or suppressed-with-reason — and the gate also asserts that,
+//! so the file can only grow in an explicit, reviewed diff.
+//!
+//! The format is a strict subset of JSON, parsed with a tiny hand-rolled
+//! reader (the lint crate stays std-only):
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "diagnostics": [
+//!     { "rule": "determinism", "file": "crates/x/src/y.rs", "line": 12 }
+//!   ]
+//! }
+//! ```
+//!
+//! Entries match a [`Diagnostic`] on exact `(rule, file, line)`; columns
+//! and messages are deliberately not part of the key so that unrelated
+//! same-line edits don't churn the baseline.
+
+use crate::diag::Diagnostic;
+
+/// One accepted finding: matched on exact rule + file + line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id (`determinism`, `unchecked-arith`, …).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the accepted finding.
+    pub line: usize,
+}
+
+impl BaselineEntry {
+    /// `true` when this entry accepts `d`.
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule && self.file == d.file && self.line == d.line
+    }
+}
+
+/// Splits diagnostics into (new, baselined) against the baseline entries.
+pub fn diff<'d>(
+    diags: &'d [Diagnostic],
+    baseline: &[BaselineEntry],
+) -> (Vec<&'d Diagnostic>, Vec<&'d Diagnostic>) {
+    let mut fresh = Vec::new();
+    let mut accepted = Vec::new();
+    for d in diags {
+        if baseline.iter().any(|e| e.matches(d)) {
+            accepted.push(d);
+        } else {
+            fresh.push(d);
+        }
+    }
+    (fresh, accepted)
+}
+
+/// Parses a baseline file. Errors are strings: the only caller is the gate
+/// test, which wants a message, not a typed error.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut version_seen = false;
+    let mut entries = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => {
+                let v = p.number()?;
+                if v != 2 {
+                    return Err(format!("unsupported baseline version {v} (expected 2)"));
+                }
+                version_seen = true;
+            }
+            "diagnostics" => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(']') {
+                        break;
+                    }
+                    entries.push(p.entry()?);
+                    p.skip_ws();
+                    if !p.eat(',') {
+                        p.skip_ws();
+                        p.expect(']')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown baseline key {other:?}")),
+        }
+        p.skip_ws();
+        if !p.eat(',') {
+            p.skip_ws();
+            p.expect('}')?;
+            break;
+        }
+    }
+    if !version_seen {
+        return Err("baseline missing \"version\"".to_string());
+    }
+    Ok(entries)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at offset {}: expected {c:?}, found {:?}",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ ('"' | '\\' | '/')) => s.push(c),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        other => {
+                            return Err(format!("unsupported baseline escape {other:?}"));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string in baseline".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("baseline parse error at offset {start}: expected number"));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse::<usize>()
+            .map_err(|e| format!("baseline number out of range: {e}"))
+    }
+
+    fn entry(&mut self) -> Result<BaselineEntry, String> {
+        self.expect('{')?;
+        let mut rule = None;
+        let mut file = None;
+        let mut line = None;
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "rule" => rule = Some(self.string()?),
+                "file" => file = Some(self.string()?),
+                "line" => line = Some(self.number()?),
+                other => return Err(format!("unknown baseline entry key {other:?}")),
+            }
+            self.skip_ws();
+            if !self.eat(',') {
+                self.skip_ws();
+                self.expect('}')?;
+                break;
+            }
+        }
+        match (rule, file, line) {
+            (Some(rule), Some(file), Some(line)) => Ok(BaselineEntry { rule, file, line }),
+            _ => Err("baseline entry missing rule/file/line".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_baseline_parses() {
+        let entries = parse("{\n  \"version\": 2,\n  \"diagnostics\": []\n}\n").unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn entries_parse_and_match() {
+        let entries = parse(
+            r#"{ "version": 2, "diagnostics": [
+                { "rule": "determinism", "file": "crates/a/src/b.rs", "line": 7 },
+                { "rule": "unchecked-arith", "file": "crates/num/src/biguint.rs", "line": 12 }
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "determinism");
+        assert_eq!(entries[1].line, 12);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        assert!(parse("{ \"version\": 1, \"diagnostics\": [] }").is_err());
+    }
+
+    #[test]
+    fn missing_version_is_rejected() {
+        assert!(parse("{ \"diagnostics\": [] }").is_err());
+    }
+}

@@ -3,6 +3,19 @@
 
 use std::fmt::Write as _;
 
+/// Analyzer pass a rule belongs to: the per-file lexical rules and the
+/// suppression/manifest machinery report as `core`; each cross-file pass
+/// reports under its own name.
+pub fn pass_of(rule: &str) -> &'static str {
+    match rule {
+        crate::rules::DETERMINISM => "determinism",
+        crate::rules::STATE_MACHINE => "state-machine",
+        crate::rules::LOCK_ORDER => "lock-order",
+        crate::rules::UNCHECKED_ARITH => "unchecked-arith",
+        _ => "core",
+    }
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -53,6 +66,9 @@ pub struct Report {
     pub manifests_checked: usize,
     /// Number of diagnostics silenced by suppression directives.
     pub suppressed: usize,
+    /// Names of the cross-file passes that found their scope files and
+    /// analyzed them in this run (empty for manually assembled reports).
+    pub passes_run: Vec<&'static str>,
 }
 
 impl Report {
@@ -88,10 +104,11 @@ impl Report {
         s
     }
 
-    /// Serializes the report as a stable JSON document (schema version 1).
+    /// Serializes the report as a stable JSON document (schema version 2:
+    /// each diagnostic names its pass, the summary lists the passes run).
     pub fn render_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"version\": 1,\n  \"diagnostics\": [");
+        s.push_str("{\n  \"version\": 2,\n  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -99,9 +116,10 @@ impl Report {
             s.push_str("\n    {");
             let _ = write!(
                 s,
-                "\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                "\"rule\": {}, \"pass\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
                  \"message\": {}, \"snippet\": {}",
                 json_str(d.rule),
+                json_str(pass_of(d.rule)),
                 json_str(&d.file),
                 d.line,
                 d.col,
@@ -114,14 +132,21 @@ impl Report {
             s.push_str("\n  ");
         }
         s.push_str("],\n");
+        let passes = self
+            .passes_run
+            .iter()
+            .map(|p| json_str(p))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = write!(
             s,
             "  \"summary\": {{\"violations\": {}, \"suppressed\": {}, \
-             \"files_scanned\": {}, \"manifests_checked\": {}}}\n",
+             \"files_scanned\": {}, \"manifests_checked\": {}, \"passes\": [{}]}}\n",
             self.diagnostics.len(),
             self.suppressed,
             self.files_scanned,
-            self.manifests_checked
+            self.manifests_checked,
+            passes
         );
         s.push_str("}\n");
         s

@@ -141,7 +141,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     self.raw_string(line, col);
                 }
-                'b' if self.peek(1) == Some('r') && self.is_raw_string_start(1) => {
+                'b' | 'c' if self.peek(1) == Some('r') && self.is_raw_string_start(1) => {
                     self.bump();
                     self.bump();
                     self.raw_string(line, col);
@@ -302,6 +302,25 @@ impl<'a> Lexer<'a> {
     fn number(&mut self, line: usize, col: usize) {
         let mut text = String::new();
         let mut is_float = false;
+        // Digits right after a `.` are a tuple-field index (`pair.0`,
+        // `nested.0.1`), never a float literal: lex the digits alone so
+        // `nested.0.1` stays `.`/`0`/`.`/`1` instead of `.`/`0.1`-float.
+        let after_field_dot = matches!(
+            self.out.tokens.last(),
+            Some(t) if t.kind == TokenKind::Punct && t.text == "."
+        );
+        if after_field_dot {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Number, text, line, col, false);
+            return;
+        }
         // Radix prefixes are always integers (no hex floats in Rust).
         if self.peek(0) == Some('0')
             && matches!(self.peek(1), Some('x') | Some('X') | Some('o') | Some('b'))

@@ -14,8 +14,7 @@
 //!   documented public APIs, centralized dependency versions) that keep the
 //!   other two rules meaningful.
 
-use crate::lexer::{lex, Token, TokenKind};
-use crate::suppress::Suppressions;
+use crate::lexer::{Token, TokenKind};
 use crate::diag::Diagnostic;
 
 /// Rule name: floats forbidden in exact-arithmetic code.
@@ -28,6 +27,17 @@ pub const CRATE_HYGIENE: &str = "crate-hygiene";
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 /// Pseudo-rule for directives that silence nothing.
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+/// Cross-file rule: wall-clock reads, sleeps and unordered collections are
+/// forbidden in the declared deterministic modules.
+pub const DETERMINISM: &str = "determinism";
+/// Cross-file rule: the executor's state machines must match the declared
+/// phase-order spec.
+pub const STATE_MACHINE: &str = "state-machine";
+/// Cross-file rule: lock acquisition nesting must be cycle-free.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Cross-file rule: bare integer arithmetic is forbidden in the bignum limb
+/// kernels outside wrapping/checked/widening forms.
+pub const UNCHECKED_ARITH: &str = "unchecked-arith";
 
 /// All rule names, for `--rules` listing and directive validation.
 pub const ALL_RULES: &[(&str, &str)] = &[
@@ -53,6 +63,32 @@ pub const ALL_RULES: &[(&str, &str)] = &[
          through [workspace.dependencies] and inherit [workspace.lints]",
     ),
     (
+        DETERMINISM,
+        "wall-clock reads (Instant::now, SystemTime), thread::sleep and \
+         unordered HashMap/HashSet are forbidden in the declared virtual-time \
+         and canonical-encoding modules; the mechanism's strategyproofness \
+         (Thms 5.1-5.3) assumes every honest party computes identically",
+    ),
+    (
+        STATE_MACHINE,
+        "every `state = ...` transition in the executor must be an edge of \
+         the declared phase-order spec (Bidding -> ... -> Done, with \
+         Crashed/Defaulted as accept-from-any sinks), and every declared \
+         state must be reachable",
+    ),
+    (
+        LOCK_ORDER,
+        "Mutex/Condvar acquisition nesting across the threaded runtime must \
+         form an acyclic lock graph, and a condvar wait may hold only its \
+         own lock (static deadlock-freedom for the phase barriers)",
+    ),
+    (
+        UNCHECKED_ARITH,
+        "bare + - * << on integer limbs in the bignum kernels is forbidden \
+         outside wrapping_/checked_/carrying_ forms or widening-cast \
+         accumulators; exact payment agreement must not silently wrap",
+    ),
+    (
         BAD_SUPPRESSION,
         "a `// dls-lint:` directive could not be parsed (every allow needs \
          `(<rule>)` and a ` -- <reason>`)",
@@ -65,7 +101,13 @@ pub const ALL_RULES: &[(&str, &str)] = &[
 
 /// `true` for names that may appear inside `allow(...)`.
 pub fn is_known_rule(name: &str) -> bool {
-    name == NO_FLOAT_IN_EXACT || name == NO_PANIC_IN_PROTOCOL || name == CRATE_HYGIENE
+    name == NO_FLOAT_IN_EXACT
+        || name == NO_PANIC_IN_PROTOCOL
+        || name == CRATE_HYGIENE
+        || name == DETERMINISM
+        || name == STATE_MACHINE
+        || name == LOCK_ORDER
+        || name == UNCHECKED_ARITH
 }
 
 /// Paths (workspace-relative, unix separators) covered by
@@ -105,75 +147,46 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
     )
 }
 
-/// Lints one source file. `rel_path` selects the applicable rules; the
-/// returned diagnostics are unsuppressed violations (suppressed ones are
-/// counted in `suppressed_out`).
+/// Lints one source file in isolation. `rel_path` selects the applicable
+/// rules (per-file and cross-file passes alike); the returned diagnostics
+/// are unsuppressed violations (suppressed ones are counted in
+/// `suppressed_out`).
 pub fn lint_source(rel_path: &str, source: &str, suppressed_out: &mut usize) -> Vec<Diagnostic> {
-    let lexed = lex(source);
-    let mut sup = Suppressions::from_comments(&lexed.comments);
-    let lines: Vec<&str> = source.lines().collect();
-    let excluded = test_code_lines(&lexed.tokens);
+    let report = crate::analyze_sources(vec![(rel_path.to_string(), source.to_string())]);
+    *suppressed_out += report.suppressed;
+    report.diagnostics
+}
 
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    if float_rule_applies(rel_path) {
-        check_floats(rel_path, &lexed.tokens, &excluded, &lines, &mut raw);
+/// Runs the per-file lexical rules over one prepared source file, pushing
+/// raw (pre-suppression) diagnostics.
+pub(crate) fn check_file(sf: &crate::SourceFile, out: &mut Vec<Diagnostic>) {
+    let lines: Vec<&str> = sf.lines.iter().map(String::as_str).collect();
+    if float_rule_applies(&sf.rel) {
+        check_floats(&sf.rel, &sf.lexed.tokens, &sf.excluded, &lines, out);
     }
-    if panic_rule_applies(rel_path) {
-        check_panics(rel_path, &lexed.tokens, &excluded, &lines, &mut raw);
+    if panic_rule_applies(&sf.rel) {
+        check_panics(&sf.rel, &sf.lexed.tokens, &sf.excluded, &lines, out);
     }
+}
 
-    let mut out = Vec::new();
-    for d in raw {
-        if sup.covers(d.rule, d.line) {
-            *suppressed_out += 1;
-        } else {
-            out.push(d);
-        }
-    }
-    // Malformed directives are always reported.
-    for bad in &sup.bad {
-        out.push(Diagnostic {
-            rule: BAD_SUPPRESSION,
-            file: rel_path.to_string(),
-            line: bad.line,
-            col: 1,
-            message: bad.problem.clone(),
-            snippet: snippet(&lines, bad.line),
-            help: "write `// dls-lint: allow(<rule>) -- <reason>`".to_string(),
-        });
-    }
-    // Unused directives are reported so burndown annotations stay honest —
-    // but only for rules this file's scope actually evaluates here
-    // (`crate-hygiene` allows are consumed by the manifest checker).
-    {
-        let evaluated = |r: &String| {
-            (r == NO_FLOAT_IN_EXACT && float_rule_applies(rel_path))
-                || (r == NO_PANIC_IN_PROTOCOL && panic_rule_applies(rel_path))
-        };
-        for s in &sup.entries {
-            if !s.used && s.rules.iter().any(evaluated) {
-                out.push(Diagnostic {
-                    rule: UNUSED_SUPPRESSION,
-                    file: rel_path.to_string(),
-                    line: s.directive_line,
-                    col: 1,
-                    message: format!(
-                        "suppression of {} silences nothing and must be removed",
-                        s.rules.join(", ")
-                    ),
-                    snippet: snippet(&lines, s.directive_line),
-                    help: String::new(),
-                });
-            }
-        }
-    }
-    out
+/// `true` when a suppression for `rule` is meaningful in `rel_path` — i.e.
+/// some rule or pass actually evaluates that rule there. Directives for
+/// rules that are never evaluated in a file are left alone (notably
+/// `crate-hygiene`, consumed by the manifest checker), while evaluated-but-
+/// unused ones are reported as stale.
+pub(crate) fn rule_evaluated_for(rule: &str, rel_path: &str) -> bool {
+    (rule == NO_FLOAT_IN_EXACT && float_rule_applies(rel_path))
+        || (rule == NO_PANIC_IN_PROTOCOL && panic_rule_applies(rel_path))
+        || (rule == DETERMINISM && crate::passes::determinism::in_scope(rel_path))
+        || (rule == STATE_MACHINE && crate::passes::state_machine::in_scope(rel_path))
+        || (rule == LOCK_ORDER && crate::passes::lock_order::in_scope(rel_path))
+        || (rule == UNCHECKED_ARITH && crate::passes::arith::in_scope(rel_path))
 }
 
 /// Returns a sorted list of `(start_line, end_line)` ranges (inclusive)
 /// holding `#[cfg(test)]` modules and `#[test]` functions. Rules skip code
 /// inside them: tests may unwrap and compare against floats freely.
-fn test_code_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_code_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -264,7 +277,7 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
 
 /// Given `tokens[open] == "{"`, returns the index of the matching `}` (or
 /// the last token on unbalanced input).
-fn match_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn match_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     let mut k = open;
     while k < tokens.len() {
@@ -285,11 +298,11 @@ fn match_brace(tokens: &[Token], open: usize) -> usize {
     tokens.len().saturating_sub(1)
 }
 
-fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+pub(crate) fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
     ranges.iter().any(|&(a, b)| a <= line && line <= b)
 }
 
-fn snippet(lines: &[&str], line: usize) -> String {
+pub(crate) fn snippet(lines: &[&str], line: usize) -> String {
     lines
         .get(line.saturating_sub(1))
         .map(|l| l.trim().to_string())

@@ -160,15 +160,16 @@ fn json_report_shape_is_stable() {
     let json = report.render_json();
 
     // Structural golden: exact keys, deterministic ordering.
-    assert!(json.starts_with("{\n  \"version\": 1,\n  \"diagnostics\": ["));
+    assert!(json.starts_with("{\n  \"version\": 2,\n  \"diagnostics\": ["));
     for key in [
         "\"rule\": \"no-float-in-exact\"",
+        "\"pass\": \"core\"",
         "\"file\": \"crates/num/src/fixture.rs\"",
         "\"line\": ",
         "\"col\": ",
         "\"message\": ",
         "\"snippet\": ",
-        "\"summary\": {\"violations\": 4, \"suppressed\": 0, \"files_scanned\": 1, \"manifests_checked\": 0}",
+        "\"summary\": {\"violations\": 4, \"suppressed\": 0, \"files_scanned\": 1, \"manifests_checked\": 0, \"passes\": []}",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }

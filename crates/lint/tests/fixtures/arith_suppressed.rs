@@ -1,0 +1,9 @@
+//! Unchecked-arith-pass suppressed fixture: bare operators carrying
+//! proof-style allow directives.
+
+pub fn bounded(hi: u64, lo: u64) -> u64 {
+    let span = hi - lo; // dls-lint: allow(unchecked-arith) -- fixture: caller guarantees hi >= lo
+    // dls-lint: allow(unchecked-arith) -- fixture: span < 2^32 so the square fits u64
+    let area = span * span;
+    area
+}

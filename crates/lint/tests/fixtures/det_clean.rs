@@ -1,0 +1,39 @@
+//! Determinism-pass false-positive guard: lookalikes that must stay clean.
+//!
+//! Mentions of Instant::now() in comments and "SystemTime" in strings are
+//! not clock reads; storing or differencing an `Instant` someone else read
+//! is allowed; `HashMap` in test code is excluded; BTreeMap is the blessed
+//! ordered replacement.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Records a timestamp captured by the caller (who owns the suppression).
+pub fn record(at: Instant, log: &mut Vec<Instant>) {
+    log.push(at);
+}
+
+pub fn label() -> &'static str {
+    "SystemTime is only a string here"
+}
+
+pub fn ordered() -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn pause(clock: &mut u64) {
+    // A virtual clock advance, not thread::sleep.
+    *clock += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hashmap_ok_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

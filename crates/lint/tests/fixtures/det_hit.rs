@@ -1,0 +1,15 @@
+//! Determinism-pass positive fixture: every detector fires once or twice.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::SystemTime;
+
+pub fn snapshot() -> u64 {
+    let t0 = std::time::Instant::now();
+    let wall = SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    let s: HashSet<u64> = HashSet::new();
+    m.insert(1, 2);
+    (m.len() + s.len()) as u64
+}

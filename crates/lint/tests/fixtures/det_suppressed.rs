@@ -1,0 +1,10 @@
+//! Determinism-pass suppressed fixture: each hit carries a reasoned allow.
+
+use std::collections::HashMap; // dls-lint: allow(determinism) -- fixture: order never observed
+
+pub fn deadline_probe() -> bool {
+    // dls-lint: allow(determinism) -- fixture: real deadline for the threaded oracle
+    let t0 = std::time::Instant::now();
+    let m: HashMap<u64, u64> = HashMap::new(); // dls-lint: allow(determinism) -- fixture: order never observed
+    t0.elapsed().as_nanos() as u64 >= m.len() as u64
+}

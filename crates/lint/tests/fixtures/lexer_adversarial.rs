@@ -1,0 +1,18 @@
+//! Lexer adversarial fixture: raw strings with `#` hashes, raw C strings,
+//! nested block comments, and tuple-index chains. None of the lookalike
+//! violations or directives inside literals/comments may be honored.
+
+pub fn tricky() -> usize {
+    let a = r#"Instant::now() // dls-lint: allow(determinism) -- not a directive"#;
+    let b = r##"HashMap<f64, f64> holds 2.5 "# quotes" inside"##;
+    let c = cr#"SystemTime::now() and thread::sleep"#;
+    let d = c"std::thread::sleep(dur)";
+    let e = br#"0.5f32"#;
+    /* outer /* nested Instant::now() 3.5f64 */ still a comment:
+       dls-lint: allow(no-float-in-exact) -- also not a directive */
+    let pair = ((0u64, 1u64), 2u64);
+    let tuple_index = pair.0.1;
+    a.len() + b.len() + c.to_bytes().len() + d.to_bytes().len() + e.len()
+        + tuple_index as usize
+        + pair.1 as usize
+}

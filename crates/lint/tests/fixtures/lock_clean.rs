@@ -1,0 +1,48 @@
+//! Lock-order-pass clean fixture: consistent nesting order, sequential
+//! re-acquisition of one lock (the double-checked cache pattern), and a
+//! condvar wait holding exactly its own mutex.
+
+use parking_lot::{Condvar, Mutex};
+
+pub struct Net {
+    pub stats: Mutex<u64>,
+    pub bcast: Mutex<u64>,
+}
+
+pub fn record(net: &Net) {
+    let mut s = net.stats.lock();
+    *s += 1;
+}
+
+pub fn broadcast(net: &Net) {
+    let _b = net.bcast.lock();
+    record(net);
+}
+
+pub struct Cache {
+    pub slots: Mutex<u64>,
+}
+
+pub fn cached(c: &Cache) -> u64 {
+    {
+        let s = c.slots.lock();
+        if *s != 0 {
+            return *s;
+        }
+    }
+    let mut s = c.slots.lock();
+    *s = 7;
+    *s
+}
+
+pub struct Barrier {
+    pub state: Mutex<u64>,
+    pub cvar: Condvar,
+}
+
+pub fn wait(b: &Barrier) {
+    let mut st = b.state.lock();
+    while *st != 0 {
+        b.cvar.wait(&mut st);
+    }
+}

@@ -1,0 +1,45 @@
+//! Lock-order-pass positive fixture: a direct two-lock cycle, a cycle
+//! closed through a callee, and a condvar wait holding two locks.
+
+use parking_lot::{Condvar, Mutex};
+
+pub struct Net {
+    pub stats: Mutex<u64>,
+    pub bcast: Mutex<u64>,
+}
+
+pub fn ab(net: &Net) {
+    let _s = net.stats.lock();
+    let _b = net.bcast.lock();
+}
+
+pub fn ba(net: &Net) {
+    let _b = net.bcast.lock();
+    let _s = net.stats.lock();
+}
+
+pub struct Shared {
+    pub queue: Mutex<u64>,
+    pub table: Mutex<u64>,
+    pub cvar: Condvar,
+}
+
+pub fn outer(sh: &Shared) {
+    let _q = sh.queue.lock();
+    helper(sh);
+}
+
+fn helper(sh: &Shared) {
+    let _t = sh.table.lock();
+    inner(sh);
+}
+
+fn inner(sh: &Shared) {
+    let _q = sh.queue.lock();
+}
+
+pub fn park(sh: &Shared) {
+    let mut q = sh.queue.lock();
+    let _t = sh.table.lock();
+    sh.cvar.wait(&mut q);
+}

@@ -1,0 +1,68 @@
+//! State-machine-pass positive fixture: an undeclared enum variant, an
+//! illegal phase skip, an illegal referee edge, and a wildcard referee
+//! construction. The reachable spine is otherwise identical to the clean
+//! fixture so reachability stays quiet.
+
+pub enum ProcessorState {
+    Bidding,
+    AwaitBidVerdict,
+    Allocating,
+    AwaitAllocationVerdict,
+    Processing,
+    AwaitMeters,
+    Payments,
+    AwaitSettlement,
+    Crashed,
+    Defaulted,
+    Halted,
+    Done,
+    Zombie,
+}
+
+pub enum RefereeState {
+    Bidding,
+    Allocating,
+    Processing,
+    Payments,
+    Settled,
+}
+
+fn advance_referee(s: &mut RefereeState, from: RefereeState, to: RefereeState) {
+    let _ = from;
+    *s = to;
+}
+
+pub fn round(crash: bool) {
+    let mut ref_state = RefereeState::Bidding;
+    let mut w = ProcessorState::Bidding;
+    if w == ProcessorState::Bidding {
+        w = ProcessorState::AwaitBidVerdict;
+    }
+    if crash {
+        w = ProcessorState::Halted;
+    }
+    w = ProcessorState::Allocating;
+    w = ProcessorState::AwaitAllocationVerdict;
+    if crash {
+        w = ProcessorState::Halted;
+    }
+    w = ProcessorState::Processing;
+    w = ProcessorState::Done;
+    w = ProcessorState::AwaitMeters;
+    w = ProcessorState::Payments;
+    w = ProcessorState::AwaitSettlement;
+    w = ProcessorState::Done;
+    w = ProcessorState::Crashed;
+    w = ProcessorState::Defaulted;
+    let _ = w;
+
+    advance_referee(&mut ref_state, RefereeState::Bidding, RefereeState::Allocating);
+    advance_referee(&mut ref_state, RefereeState::Bidding, RefereeState::Settled);
+    advance_referee(&mut ref_state, RefereeState::Allocating, RefereeState::Processing);
+    advance_referee(&mut ref_state, RefereeState::Allocating, RefereeState::Settled);
+    advance_referee(&mut ref_state, RefereeState::Processing, RefereeState::Payments);
+    advance_referee(&mut ref_state, RefereeState::Payments, RefereeState::Settled);
+    advance_referee(&mut ref_state, RefereeState::Settled, RefereeState::Bidding);
+    let stale = RefereeState::Settled;
+    let _ = stale;
+}

@@ -1,0 +1,70 @@
+//! State-machine-pass clean fixture: a miniature executor whose observed
+//! transition graph exactly matches the declared phase spec, with every
+//! state reachable.
+
+pub enum ProcessorState {
+    Bidding,
+    AwaitBidVerdict,
+    Allocating,
+    AwaitAllocationVerdict,
+    Processing,
+    AwaitMeters,
+    Payments,
+    AwaitSettlement,
+    Crashed,
+    Defaulted,
+    Halted,
+    Done,
+}
+
+pub enum RefereeState {
+    Bidding,
+    Allocating,
+    Processing,
+    Payments,
+    Settled,
+}
+
+pub struct Proc {
+    pub state: ProcessorState,
+}
+
+fn advance_referee(s: &mut RefereeState, from: RefereeState, to: RefereeState) {
+    let _ = from;
+    *s = to;
+}
+
+pub fn round(p: &mut Proc, crash: bool, default: bool) {
+    let mut ref_state = RefereeState::Bidding;
+    let mut w = ProcessorState::Bidding;
+    if w == ProcessorState::Bidding {
+        w = ProcessorState::AwaitBidVerdict;
+    }
+    if crash {
+        w = ProcessorState::Halted;
+    }
+    w = ProcessorState::Allocating;
+    w = ProcessorState::AwaitAllocationVerdict;
+    if crash {
+        w = ProcessorState::Halted;
+    }
+    w = ProcessorState::Processing;
+    w = ProcessorState::AwaitMeters;
+    w = ProcessorState::Payments;
+    w = ProcessorState::AwaitSettlement;
+    w = ProcessorState::Done;
+    if crash {
+        w = ProcessorState::Crashed;
+    }
+    if default {
+        w = ProcessorState::Defaulted;
+    }
+    p.state = w;
+
+    advance_referee(&mut ref_state, RefereeState::Bidding, RefereeState::Allocating);
+    advance_referee(&mut ref_state, RefereeState::Bidding, RefereeState::Settled);
+    advance_referee(&mut ref_state, RefereeState::Allocating, RefereeState::Processing);
+    advance_referee(&mut ref_state, RefereeState::Allocating, RefereeState::Settled);
+    advance_referee(&mut ref_state, RefereeState::Processing, RefereeState::Payments);
+    advance_referee(&mut ref_state, RefereeState::Payments, RefereeState::Settled);
+}

@@ -129,6 +129,7 @@ impl BigInt {
         if r.is_zero() || r.is_negative() == divisor.is_negative() {
             (q, r)
         } else {
+            // dls-lint: allow(unchecked-arith) -- BigInt ops are arbitrary-precision
             (&q - &BigInt::one(), &r + divisor)
         }
     }

@@ -173,7 +173,7 @@ impl BigUint {
         while remaining > 0 {
             let step = remaining.min(512);
             v *= 2f64.powi(step as i32); // dls-lint: allow(no-float-in-exact) -- exit boundary
-            remaining -= step;
+            remaining -= step; // dls-lint: allow(unchecked-arith) -- step = remaining.min(512) <= remaining
         }
         v
     }
@@ -205,23 +205,21 @@ impl BigUint {
         }
         let mut acc = BigUint::zero();
         // Consume 9 digits at a time: acc = acc * 10^k + chunk.
-        let mut idx = 0;
-        while idx < digits.len() {
-            let take = (digits.len() - idx).min(DEC_CHUNK_DIGITS);
+        for group in digits.chunks(DEC_CHUNK_DIGITS) {
             let mut chunk: u32 = 0;
             let mut radix: u32 = 1;
-            for &d in &digits[idx..idx + take] {
+            for &d in group {
                 chunk = chunk * 10 + d;
                 radix = radix.saturating_mul(10);
             }
-            let radix = if take == DEC_CHUNK_DIGITS {
+            let radix = if group.len() == DEC_CHUNK_DIGITS {
                 DEC_CHUNK_RADIX
             } else {
                 radix
             };
             acc = acc.mul_small(radix);
+            // dls-lint: allow(unchecked-arith) -- BigUint AddAssign is arbitrary-precision
             acc += &BigUint::from(chunk);
-            idx += take;
         }
         Ok(acc)
     }
@@ -249,6 +247,7 @@ impl BigUint {
         }
         let mut limbs = vec![0u32; nibbles.len().div_ceil(8)];
         for (i, &n) in nibbles.iter().rev().enumerate() {
+            // dls-lint: allow(unchecked-arith) -- nibble < 16 shifted by at most 28 fits u32
             limbs[i / 8] |= n << (4 * (i % 8));
         }
         Ok(BigUint::from_limbs_le(limbs))
@@ -269,6 +268,7 @@ impl BigUint {
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
         let mut limbs = vec![0u32; bytes.len().div_ceil(4)];
         for (i, &b) in bytes.iter().rev().enumerate() {
+            // dls-lint: allow(unchecked-arith) -- byte < 256 shifted by at most 24 fits u32
             limbs[i / 4] |= (b as u32) << (8 * (i % 4));
         }
         BigUint::from_limbs_le(limbs)
@@ -356,6 +356,7 @@ impl BigUint {
             return BigUint::zero();
         }
         // Newton's method with an initial guess from the bit length.
+        // dls-lint: allow(unchecked-arith) -- BigUint shift is arbitrary-precision
         let mut x = BigUint::one() << (self.bits().div_ceil(2));
         loop {
             // y = (x + self/x) / 2
@@ -456,6 +457,7 @@ fn sub_unchecked(a: &[u32], b: &[u32]) -> BigUint {
     for i in 0..a.len() {
         let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
         if d < 0 {
+            // dls-lint: allow(unchecked-arith) -- d in (-2^32, 0), so d + 2^32 fits i64 and u32
             out.push((d + (1i64 << 32)) as u32);
             borrow = 1;
         } else {
@@ -482,6 +484,7 @@ fn mul_schoolbook(a: &[u32], b: &[u32]) -> BigUint {
             out[i + j] = t as u32;
             carry = t >> 32;
         }
+        // dls-lint: allow(unchecked-arith) -- i < a.len(), so k <= out.len(), memory-bounded
         let mut k = i + b.len();
         while carry != 0 {
             let t = out[k] as u64 + carry;
@@ -517,6 +520,7 @@ fn mul_karatsuba(a: &[u32], b: &[u32]) -> BigUint {
         .and_then(|t| t.checked_sub(&z2))
         .expect("karatsuba middle term is non-negative");
 
+    // dls-lint: allow(unchecked-arith) -- BigUint shifts and adds are arbitrary-precision
     (z2 << (64 * half)) + (z1 << (32 * half)) + z0
 }
 
@@ -542,13 +546,15 @@ fn trim_zeros(v: &[u32]) -> &[u32] {
 fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
     // Normalize: shift so the divisor's top limb has its high bit set.
     let shift = den.limbs.last().expect("divisor >= 2 limbs").leading_zeros() as usize;
+    // dls-lint: allow(unchecked-arith) -- BigUint shift is arbitrary-precision
     let v = den << shift; // divisor
     let n = v.limbs.len();
 
     // Shifted dividend, consumed directly as the working buffer (one extra
     // high limb appended) — the shift already allocated a fresh vector.
+    // dls-lint: allow(unchecked-arith) -- BigUint shift is arbitrary-precision
     let mut us: Vec<u32> = (num << shift).limbs;
-    let m = us.len() - n;
+    let m = us.len() - n; // dls-lint: allow(unchecked-arith) -- knuth_d requires num >= den, so us.len() >= n
     us.push(0);
     let vs: &[u32] = &v.limbs;
     let vn1 = vs[n - 1] as u64;
@@ -565,6 +571,7 @@ fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
             || qhat * vn2 > ((rhat << 32) | us[j + n - 2] as u64)
         {
             qhat -= 1;
+            // dls-lint: allow(unchecked-arith) -- rhat < vn1 < 2^32, so rhat + vn1 < 2^33 fits u64
             rhat += vn1;
             if rhat >= 1u64 << 32 {
                 break;
@@ -579,6 +586,7 @@ fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
             carry = p >> 32;
             let d = us[j + i] as i64 - (p as u32) as i64 - borrow;
             if d < 0 {
+                // dls-lint: allow(unchecked-arith) -- d in (-2^32, 0), so d + 2^32 fits i64 and u32
                 us[j + i] = (d + (1i64 << 32)) as u32;
                 borrow = 1;
             } else {
@@ -589,6 +597,7 @@ fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
         let d = us[j + n] as i64 - carry as i64 - borrow;
         if d < 0 {
             // q̂ was one too large: add back.
+            // dls-lint: allow(unchecked-arith) -- d in (-2^32, 0), so d + 2^32 fits i64 and u32
             us[j + n] = (d + (1i64 << 32)) as u32;
             qhat -= 1;
             let mut carry: u64 = 0;
@@ -623,7 +632,7 @@ impl Add for &BigUint {
 impl Add for BigUint {
     type Output = BigUint;
     fn add(mut self, rhs: BigUint) -> BigUint {
-        self += &rhs;
+        self += &rhs; // dls-lint: allow(unchecked-arith) -- BigUint AddAssign is arbitrary-precision
         self
     }
 }
@@ -663,7 +672,7 @@ impl Sub for &BigUint {
 impl Sub<&BigUint> for BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
-        &self - rhs
+        &self - rhs // dls-lint: allow(unchecked-arith) -- forwards to the checked_sub-backed impl
     }
 }
 
@@ -715,7 +724,7 @@ impl Shl<usize> for &BigUint {
 impl Shl<usize> for BigUint {
     type Output = BigUint;
     fn shl(self, bits: usize) -> BigUint {
-        &self << bits
+        &self << bits // dls-lint: allow(unchecked-arith) -- BigUint shift is arbitrary-precision
     }
 }
 
@@ -726,6 +735,7 @@ impl Shr<usize> for &BigUint {
         if limb_shift >= self.limbs.len() {
             return BigUint::zero();
         }
+        // dls-lint: allow(unchecked-arith) -- early return above guarantees limb_shift < len
         let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
         for i in limb_shift..self.limbs.len() {
             let lo = self.limbs[i] >> bit_shift;

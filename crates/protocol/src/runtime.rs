@@ -540,6 +540,9 @@ impl PhaseBarrier {
     /// (and is not missing) or it is removed (and its next `wait_as`
     /// reports it defaulted).
     fn wait_deadline_as(&self, id: usize, budget: Duration) -> Result<Vec<usize>, RunError> {
+        // The threaded oracle enforces real wall-clock budgets; the virtual
+        // executor mirrors them in VirtualClock.
+        // dls-lint: allow(determinism) -- real phase deadline in the threaded oracle
         let deadline = Instant::now() + budget;
         let mut st = self.state.lock();
         if let Some(v) = &st.aborted {
@@ -559,6 +562,7 @@ impl PhaseBarrier {
             if let Some(v) = &st.aborted {
                 return Err(RunError::Protocol(v.clone()));
             }
+            // dls-lint: allow(determinism) -- re-read of the same real deadline clock
             let now = Instant::now();
             if now >= deadline {
                 let missing: Vec<usize> = st
@@ -1307,6 +1311,7 @@ fn fault_entry(fault: &FaultPlan, phase: Phase, budget_ms: u64) -> bool {
     match fault {
         FaultPlan::CrashAt(p) if *p == phase => true,
         FaultPlan::DelayAt(p, ms) if *p == phase => {
+            // dls-lint: allow(determinism) -- injected delay fault must burn real time
             std::thread::sleep(Duration::from_millis((*ms).min(budget_ms)));
             false
         }

@@ -1,9 +1,10 @@
 //! Bignum substrate benchmarks: multiplication straddling the Karatsuba
 //! threshold, Knuth-D division, GCD, and modular exponentiation (the RSA
-//! kernel).
+//! kernel) — the generic `pow_mod` against the Montgomery fixed-window
+//! kernel it was rewritten around.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dls_num::{gcd, modmath, BigUint};
+use dls_num::{gcd, modmath, BigUint, ExpWindows, MontgomeryCtx};
 use std::hint::black_box;
 
 fn value(limbs: usize, seed: u32) -> BigUint {
@@ -73,5 +74,47 @@ fn bench_pow_mod(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mul, bench_divrem, bench_gcd, bench_pow_mod);
+fn bench_mont_pow(c: &mut Criterion) {
+    // Same shape as bignum/pow_mod so the two groups compare directly:
+    // full-width base and exponent under an odd modulus. Two variants per
+    // size — `cold` builds the context per call (one-shot cost), `warm`
+    // reuses a prebuilt context and window schedule (the per-key
+    // amortized cost the crypto crate pays after keygen).
+    let mut g = c.benchmark_group("bignum/mont_pow");
+    g.sample_size(20);
+    for &bits in &[512usize, 1024, 2048] {
+        let limbs = bits / 32;
+        let base = value(limbs, 7);
+        let exp = value(limbs, 8);
+        let mut modulus = value(limbs, 9);
+        modulus.set_bit(0, true); // odd
+        g.bench_with_input(
+            BenchmarkId::new("cold", bits),
+            &(base.clone(), exp.clone(), modulus.clone()),
+            |bch, (b, e, m)| {
+                bch.iter(|| {
+                    let ctx = MontgomeryCtx::new(m).expect("odd modulus");
+                    black_box(ctx.pow(b, e))
+                })
+            },
+        );
+        let ctx = MontgomeryCtx::new(&modulus).expect("odd modulus");
+        let windows = ExpWindows::new(&exp);
+        g.bench_with_input(
+            BenchmarkId::new("warm", bits),
+            &base,
+            |bch, b| bch.iter(|| black_box(ctx.pow_windows(b, &windows))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mul,
+    bench_divrem,
+    bench_gcd,
+    bench_pow_mod,
+    bench_mont_pow
+);
 criterion_main!(benches);

@@ -22,10 +22,22 @@
 //! produce bit-identical `SessionOutcome`s, so the cells compare equal
 //! work.
 //!
+//! Since schema v2 each entry also carries a `verify` column — the
+//! session's crypto profile:
+//!
+//! * **`"amortized"`** — per-key Montgomery contexts plus the round-shared
+//!   verification cache: each distinct signed envelope costs one modexp,
+//!   every other receiver hits the memoized verdict.
+//! * **`"per-receiver"`** — the pre-Montgomery baseline: every receiver of
+//!   a broadcast re-verifies via plain `pow_mod`, so the bidding phase
+//!   alone costs m·(m−1) modexps. Measured on the pooled path only (the
+//!   differential suite proves the profile is outcome-neutral, so the
+//!   columns compare identical work).
+//!
 //! Honest-measurement notes, reflected in the JSON:
 //!
-//! * min-of-reps timing (warm steady state); big threaded cells run a
-//!   single rep;
+//! * min-of-reps timing (warm steady state); big threaded cells and the
+//!   per-receiver baseline run fewer reps;
 //! * the threaded path times a prefix sample of the batch
 //!   (`sessions_timed`, always a whole number of scenario cycles when
 //!   ≥ 8) because 1024 threaded sessions at m = 64 cost tens of minutes;
@@ -40,7 +52,7 @@
 use std::time::Instant;
 
 use dls_dlt::SystemModel;
-use dls_protocol::config::{Behavior, ProcessorConfig, SessionConfig};
+use dls_protocol::config::{Behavior, CryptoProfile, ProcessorConfig, SessionConfig};
 use dls_protocol::executor::run_session_pooled_with;
 use dls_protocol::referee::Phase;
 use dls_protocol::runtime::run_session;
@@ -50,7 +62,7 @@ use crate::workloads::quantized_rates;
 
 /// Schema identifier written into the JSON header; bump when the layout of
 /// the file changes incompatibly.
-pub const SCHEMA: &str = "dls-bench-sessions-v1";
+pub const SCHEMA: &str = "dls-bench-sessions-v2";
 
 /// Length of the frozen scenario cycle session `k` draws from
 /// (`k mod SCENARIO_CYCLE`).
@@ -78,6 +90,11 @@ pub struct SessionsConfig {
     pub workers: usize,
     /// Blocks per session load.
     pub blocks: usize,
+    /// RSA modulus width for all session key material. The full sweep
+    /// runs 1024-bit keys so verification cost is realistic relative to
+    /// session overhead; the quick subset keeps the 384-bit minimum so
+    /// the debug-build tier-1 test stays fast.
+    pub key_bits: usize,
     /// At most this many threaded sessions are timed per cell (prefix of
     /// the batch; the sequential path's per-session cost is
     /// batch-independent).
@@ -99,6 +116,7 @@ impl SessionsConfig {
             batch_sizes: vec![1, 64, 1024],
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             blocks: 60,
+            key_bits: 1024,
             threaded_sample_cap: 16,
             target_ns_per_cell: 1_000_000_000,
         }
@@ -109,6 +127,7 @@ impl SessionsConfig {
         SessionsConfig {
             m_sizes: vec![4, 16],
             batch_sizes: vec![1, 8],
+            key_bits: dls_crypto::rsa::MIN_MODULUS_BITS,
             threaded_sample_cap: 2,
             target_ns_per_cell: 50_000_000,
             ..SessionsConfig::full()
@@ -127,6 +146,10 @@ pub struct SessionsEntry {
     pub batch: usize,
     /// `"threaded"` or `"pooled"`.
     pub path: &'static str,
+    /// Crypto profile the cell ran under: `"amortized"` (Montgomery
+    /// contexts + round-shared verification cache) or `"per-receiver"`
+    /// (plain `pow_mod`, re-verified by every receiver).
+    pub verify: &'static str,
     /// Sessions actually executed in the timed block (the full batch on
     /// the pooled path; a prefix sample on the threaded path).
     pub sessions_timed: usize,
@@ -190,11 +213,13 @@ fn scenario_processors(m: usize, rates: &[f64], k: usize) -> Vec<ProcessorConfig
 }
 
 /// The frozen batch for one cell: `batch` sessions over the fixed
-/// `m`-market, session `k` playing scenario `k mod 8`.
+/// `m`-market, session `k` playing scenario `k mod 8`, all verifying
+/// under `profile`.
 pub fn session_batch(
     cfg: &SessionsConfig,
     m: usize,
     batch: usize,
+    profile: CryptoProfile,
 ) -> Result<Vec<SessionConfig>, String> {
     let rates = quantized_rates(m, cfg.lo, cfg.hi, cfg.seed, cfg.denom);
     (0..batch)
@@ -203,6 +228,8 @@ pub fn session_batch(
                 .processors(scenario_processors(m, &rates, k))
                 .blocks(cfg.blocks)
                 .seed(cfg.seed)
+                .key_bits(cfg.key_bits)
+                .crypto_profile(profile)
                 .build()
                 .map_err(|e| format!("scenario {k} for m={m} failed to build: {e}"))
         })
@@ -249,9 +276,10 @@ pub fn run_sweep(cfg: &SessionsConfig) -> Result<Vec<SessionsEntry>, String> {
             if batch == 0 {
                 continue;
             }
-            let cfgs = session_batch(cfg, m, batch)?;
+            let cfgs = session_batch(cfg, m, batch, CryptoProfile::Amortized)?;
 
-            // Pooled path: the whole batch through the worker pool.
+            // Pooled path, amortized verification: the whole batch
+            // through the worker pool.
             let (ns_block, last) = time_ns_bounded(cfg.target_ns_per_cell, 2, 64, || {
                 for r in run_session_pooled_with(&cfgs, cfg.workers) {
                     r.map_err(|e| format!("pooled session failed: {e}"))?;
@@ -261,12 +289,40 @@ pub fn run_sweep(cfg: &SessionsConfig) -> Result<Vec<SessionsEntry>, String> {
             last?;
             let ns = ns_block as f64 / batch as f64;
             let ops = sessions_per_sec(batch as u128, ns_block);
-            eprintln!("ncp-fe   m={m:4} batch={batch:5} pooled   {ns:>14.1} ns/session  {ops:>8} sessions/s");
+            eprintln!("ncp-fe   m={m:4} batch={batch:5} pooled   amortized    {ns:>14.1} ns/session  {ops:>8} sessions/s");
             entries.push(SessionsEntry {
                 model: "ncp-fe",
                 m,
                 batch,
                 path: "pooled",
+                verify: "amortized",
+                sessions_timed: batch,
+                ns_per_session: ns,
+                sessions_per_sec: ops,
+            });
+
+            // Pooled path, per-receiver naive verification: the same
+            // batch with every broadcast re-verified by each receiver via
+            // plain pow_mod. Roughly m× the verification work, so fewer
+            // reps; outcomes are bit-identical (differential-tested), the
+            // cell measures cost only.
+            let naive_cfgs = session_batch(cfg, m, batch, CryptoProfile::PerReceiverNaive)?;
+            let (ns_block, last) = time_ns_bounded(cfg.target_ns_per_cell, 1, 8, || {
+                for r in run_session_pooled_with(&naive_cfgs, cfg.workers) {
+                    r.map_err(|e| format!("pooled naive session failed: {e}"))?;
+                }
+                Ok::<(), String>(())
+            });
+            last?;
+            let ns = ns_block as f64 / batch as f64;
+            let ops = sessions_per_sec(batch as u128, ns_block);
+            eprintln!("ncp-fe   m={m:4} batch={batch:5} pooled   per-receiver {ns:>14.1} ns/session  {ops:>8} sessions/s");
+            entries.push(SessionsEntry {
+                model: "ncp-fe",
+                m,
+                batch,
+                path: "pooled",
+                verify: "per-receiver",
                 sessions_timed: batch,
                 ns_per_session: ns,
                 sessions_per_sec: ops,
@@ -288,12 +344,13 @@ pub fn run_sweep(cfg: &SessionsConfig) -> Result<Vec<SessionsEntry>, String> {
             last?;
             let ns = ns_block as f64 / sample as f64;
             let ops = sessions_per_sec(sample as u128, ns_block);
-            eprintln!("ncp-fe   m={m:4} batch={batch:5} threaded {ns:>14.1} ns/session  {ops:>8} sessions/s  (sample={sample})");
+            eprintln!("ncp-fe   m={m:4} batch={batch:5} threaded amortized    {ns:>14.1} ns/session  {ops:>8} sessions/s  (sample={sample})");
             entries.push(SessionsEntry {
                 model: "ncp-fe",
                 m,
                 batch,
                 path: "threaded",
+                verify: "amortized",
                 sessions_timed: sample,
                 ns_per_session: ns,
                 sessions_per_sec: ops,
@@ -303,13 +360,14 @@ pub fn run_sweep(cfg: &SessionsConfig) -> Result<Vec<SessionsEntry>, String> {
     Ok(entries)
 }
 
-/// Speedup of the pooled path over the threaded path at `(m, batch)`;
-/// `None` when either entry is missing.
+/// Speedup of the pooled path over the threaded path at `(m, batch)`,
+/// both under amortized verification; `None` when either entry is
+/// missing.
 pub fn pooled_speedup(entries: &[SessionsEntry], m: usize, batch: usize) -> Option<f64> {
     let find = |path: &str| {
         entries
             .iter()
-            .find(|e| e.m == m && e.batch == batch && e.path == path)
+            .find(|e| e.m == m && e.batch == batch && e.path == path && e.verify == "amortized")
             .map(|e| e.ns_per_session)
     };
     let (pooled, threaded) = (find("pooled")?, find("threaded")?);
@@ -317,6 +375,24 @@ pub fn pooled_speedup(entries: &[SessionsEntry], m: usize, batch: usize) -> Opti
         return None;
     }
     Some(threaded / pooled)
+}
+
+/// Speedup of amortized verification over the per-receiver baseline at
+/// `(m, batch)` on the pooled path — the headline number for the
+/// Montgomery + verification-cache work; `None` when either entry is
+/// missing.
+pub fn crypto_speedup(entries: &[SessionsEntry], m: usize, batch: usize) -> Option<f64> {
+    let find = |verify: &str| {
+        entries
+            .iter()
+            .find(|e| e.m == m && e.batch == batch && e.path == "pooled" && e.verify == verify)
+            .map(|e| e.ns_per_session)
+    };
+    let (amortized, naive) = (find("amortized")?, find("per-receiver")?);
+    if amortized <= 0.0 {
+        return None;
+    }
+    Some(naive / amortized)
 }
 
 /// Renders the sweep as the committed `BENCH_sessions.json` document.
@@ -328,7 +404,7 @@ pub fn render_json(cfg: &SessionsConfig, entries: &[SessionsEntry]) -> String {
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!(
-        "  \"config\": {{\"seed\": {}, \"z\": {:?}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"blocks\": {}, \"workers\": {}, \"scenario_cycle\": {}, \"threaded_sample_cap\": {}}},\n",
+        "  \"config\": {{\"seed\": {}, \"z\": {:?}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"blocks\": {}, \"workers\": {}, \"key_bits\": {}, \"scenario_cycle\": {}, \"threaded_sample_cap\": {}}},\n",
         cfg.seed,
         cfg.z,
         cfg.lo,
@@ -336,6 +412,7 @@ pub fn render_json(cfg: &SessionsConfig, entries: &[SessionsEntry]) -> String {
         cfg.denom,
         cfg.blocks,
         cfg.workers,
+        cfg.key_bits,
         SCENARIO_CYCLE,
         cfg.threaded_sample_cap
     ));
@@ -343,8 +420,8 @@ pub fn render_json(cfg: &SessionsConfig, entries: &[SessionsEntry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         s.push_str(&format!(
-            "    {{\"model\": \"{}\", \"m\": {}, \"batch\": {}, \"path\": \"{}\", \"sessions_timed\": {}, \"ns_per_session\": {:?}, \"sessions_per_sec\": {}}}{sep}\n",
-            e.model, e.m, e.batch, e.path, e.sessions_timed, e.ns_per_session, e.sessions_per_sec
+            "    {{\"model\": \"{}\", \"m\": {}, \"batch\": {}, \"path\": \"{}\", \"verify\": \"{}\", \"sessions_timed\": {}, \"ns_per_session\": {:?}, \"sessions_per_sec\": {}}}{sep}\n",
+            e.model, e.m, e.batch, e.path, e.verify, e.sessions_timed, e.ns_per_session, e.sessions_per_sec
         ));
     }
     s.push_str("  ]\n}\n");
@@ -358,8 +435,8 @@ mod tests {
     #[test]
     fn batches_are_deterministic_and_cycle_scenarios() {
         let cfg = SessionsConfig::quick();
-        let a = session_batch(&cfg, 4, 10).unwrap();
-        let b = session_batch(&cfg, 4, 10).unwrap();
+        let a = session_batch(&cfg, 4, 10, CryptoProfile::Amortized).unwrap();
+        let b = session_batch(&cfg, 4, 10, CryptoProfile::Amortized).unwrap();
         assert_eq!(a.len(), 10);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.processors, y.processors);
@@ -375,8 +452,11 @@ mod tests {
     fn every_scenario_builds_at_m4_and_m64() {
         let cfg = SessionsConfig::quick();
         for m in [4usize, 64] {
-            let batch = session_batch(&cfg, m, SCENARIO_CYCLE).unwrap();
-            assert_eq!(batch.len(), SCENARIO_CYCLE);
+            for profile in [CryptoProfile::Amortized, CryptoProfile::PerReceiverNaive] {
+                let batch = session_batch(&cfg, m, SCENARIO_CYCLE, profile).unwrap();
+                assert_eq!(batch.len(), SCENARIO_CYCLE);
+                assert!(batch.iter().all(|c| c.crypto_profile == profile));
+            }
         }
     }
 
@@ -388,13 +468,15 @@ mod tests {
             m: 16,
             batch: 64,
             path: "pooled",
+            verify: "amortized",
             sessions_timed: 64,
             ns_per_session: 812_500.25,
             sessions_per_sec: 1231,
         }];
         let json = render_json(&cfg, &entries);
-        assert!(json.contains("\"schema\": \"dls-bench-sessions-v1\""));
+        assert!(json.contains("\"schema\": \"dls-bench-sessions-v2\""));
         assert!(json.contains("\"path\": \"pooled\""));
+        assert!(json.contains("\"verify\": \"amortized\""));
         assert!(json.contains("\"ns_per_session\": 812500.25"));
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());
@@ -403,17 +485,24 @@ mod tests {
 
     #[test]
     fn pooled_speedup_reads_matching_entries() {
-        let mk = |path: &'static str, ns: f64| SessionsEntry {
+        let mk = |path: &'static str, verify: &'static str, ns: f64| SessionsEntry {
             model: "ncp-fe",
             m: 16,
             batch: 1024,
             path,
+            verify,
             sessions_timed: 16,
             ns_per_session: ns,
             sessions_per_sec: 0,
         };
-        let entries = vec![mk("pooled", 100.0), mk("threaded", 1500.0)];
+        let entries = vec![
+            mk("pooled", "amortized", 100.0),
+            mk("pooled", "per-receiver", 700.0),
+            mk("threaded", "amortized", 1500.0),
+        ];
         assert_eq!(pooled_speedup(&entries, 16, 1024), Some(15.0));
         assert_eq!(pooled_speedup(&entries, 4, 1024), None);
+        assert_eq!(crypto_speedup(&entries, 16, 1024), Some(7.0));
+        assert_eq!(crypto_speedup(&entries, 4, 1024), None);
     }
 }

@@ -21,6 +21,9 @@
 //!   paper's notation needs canonical bytes for `m`).
 //! * [`pki`] — the registry mapping participant identities to public keys
 //!   plus the [`pki::Signed`] envelope (`S_β(m) = (m, SIG_β(m))`).
+//! * [`ctx`] — per-key Montgomery contexts (built once at key generation,
+//!   reused for every modexp) and the per-session verification cache that
+//!   amortizes envelope verification across receivers.
 //!
 //! ## Substitution note (see DESIGN.md)
 //!
@@ -35,10 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod canon;
+pub mod ctx;
 pub mod pki;
 pub mod prime;
 pub mod rsa;
 pub mod sha256;
 
+pub use ctx::{SignCtx, VerifyCache, VerifyCtx};
 pub use pki::{KeyPair, Registry, Signed, SignatureError};
 pub use sha256::Sha256;

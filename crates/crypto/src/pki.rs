@@ -14,6 +14,7 @@
 //! phase of DLS-BL-NCP, §4).
 
 use crate::canon;
+use crate::ctx::{verdict_key, VerifyCache};
 use crate::rsa::{self, PublicKey, RawSignature, SecretKey};
 use rand::Rng;
 use serde::Serialize;
@@ -146,6 +147,60 @@ impl<T: Serialize> Signed<T> {
         let bytes =
             canon::to_bytes(&self.body).map_err(|e| SignatureError::Encoding(e.to_string()))?;
         if key.verify(&bytes, &self.signature) {
+            Ok(&self.body)
+        } else {
+            Err(SignatureError::BadSignature {
+                signer: self.signer.clone(),
+            })
+        }
+    }
+
+    /// Verifies against the registry, memoizing the verdict in `cache` so
+    /// later receivers of byte-identical envelopes skip the modexp.
+    ///
+    /// Returns exactly what [`Signed::verify`] would: verification is
+    /// deterministic (hash-then-modexp over fixed bytes under a fixed
+    /// registry), so sharing the verdict across receivers preserves every
+    /// accept/reject decision bit-for-bit.
+    pub fn verify_cached<'a>(
+        &'a self,
+        registry: &Registry,
+        cache: &VerifyCache,
+    ) -> Result<&'a T, SignatureError> {
+        let key = registry
+            .lookup(&self.signer)
+            .ok_or_else(|| SignatureError::UnknownSigner(self.signer.clone()))?;
+        let bytes =
+            canon::to_bytes(&self.body).map_err(|e| SignatureError::Encoding(e.to_string()))?;
+        let vk = verdict_key(&self.signer, &bytes, &self.signature.0);
+        let ok = match cache.get(&vk) {
+            Some(verdict) => verdict,
+            None => {
+                let verdict = key.verify(&bytes, &self.signature);
+                cache.insert(vk, verdict);
+                verdict
+            }
+        };
+        if ok {
+            Ok(&self.body)
+        } else {
+            Err(SignatureError::BadSignature {
+                signer: self.signer.clone(),
+            })
+        }
+    }
+
+    /// Verifies via the plain `pow_mod` reference path (no Montgomery
+    /// context, no memoization): the honest per-receiver cost model used
+    /// as the benchmark baseline. Verdicts are identical to
+    /// [`Signed::verify`]'s — only the arithmetic route differs.
+    pub fn verify_naive<'a>(&'a self, registry: &Registry) -> Result<&'a T, SignatureError> {
+        let key = registry
+            .lookup(&self.signer)
+            .ok_or_else(|| SignatureError::UnknownSigner(self.signer.clone()))?;
+        let bytes =
+            canon::to_bytes(&self.body).map_err(|e| SignatureError::Encoding(e.to_string()))?;
+        if key.verify_naive(&bytes, &self.signature) {
             Ok(&self.body)
         } else {
             Err(SignatureError::BadSignature {
@@ -373,6 +428,53 @@ mod tests {
         // A forged second message must not frame P1 for equivocation
         // (Lemma 5.2: fines only for actual deviation).
         assert!(!is_equivocation(&a, &forged, &reg));
+    }
+
+    #[test]
+    fn verify_cached_matches_verify_and_memoizes() {
+        let (kp1, _, reg) = setup();
+        let cache = VerifyCache::new();
+        let good = kp1
+            .sign(Bid {
+                processor: "P1".into(),
+                w: 1.5,
+            })
+            .unwrap();
+        let forged = Signed::forge(
+            Bid {
+                processor: "P1".into(),
+                w: 9.9,
+            },
+            "P1",
+            vec![0xab; 48],
+        );
+        // First pass populates the cache; second pass must hit it and
+        // return identical verdicts to the uncached path.
+        for _ in 0..2 {
+            assert_eq!(
+                good.verify_cached(&reg, &cache).is_ok(),
+                good.verify(&reg).is_ok()
+            );
+            assert_eq!(
+                forged.verify_cached(&reg, &cache).err(),
+                forged.verify(&reg).err()
+            );
+        }
+        assert_eq!(cache.len(), 2, "one verdict per distinct envelope");
+        // Unknown signers are rejected before touching the cache.
+        let unknown = Signed::forge(
+            Bid {
+                processor: "P9".into(),
+                w: 1.0,
+            },
+            "P9",
+            vec![0u8; 48],
+        );
+        assert!(matches!(
+            unknown.verify_cached(&reg, &cache),
+            Err(SignatureError::UnknownSigner(_))
+        ));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Primality testing and prime generation for the RSA substrate.
 
-use dls_num::{modmath, BigUint};
+use dls_num::{BigUint, ExpWindows, MontgomeryCtx};
 use rand::Rng;
 
 /// Small primes used for fast trial division before Miller–Rabin.
@@ -52,18 +52,28 @@ pub fn is_prime(n: &BigUint, rng: &mut impl Rng) -> bool {
             .collect()
     };
 
+    // One Montgomery context per candidate (n survived the small-prime
+    // sieve, so it is odd and > 2) and one window schedule for the shared
+    // exponent d, reused across every witness round. All comparisons stay
+    // in the Montgomery domain: the representation is a bijection on
+    // [0, n), so vector equality is value equality.
+    let ctx = MontgomeryCtx::new(n).expect("sieved candidate is odd and > 1");
+    let d_windows = ExpWindows::new(&d);
+    let one_m = ctx.to_mont(&one);
+    let n_minus_1_m = ctx.to_mont(&n_minus_1);
+
     'witness: for a in witnesses {
         let a = &a % n;
         if a.is_zero() || a.is_one() {
             continue;
         }
-        let mut x = modmath::pow_mod(&a, &d, n);
-        if x.is_one() || x == n_minus_1 {
+        let mut x = ctx.pow_to_mont(&ctx.to_mont(&a), &d_windows);
+        if x == one_m || x == n_minus_1_m {
             continue;
         }
         for _ in 0..s.saturating_sub(1) {
-            x = modmath::mul_mod(&x, &x, n);
-            if x == n_minus_1 {
+            x = ctx.mul(&x, &x);
+            if x == n_minus_1_m {
                 continue 'witness;
             }
         }

@@ -6,10 +6,12 @@
 //! to real-world adversaries, so we use small default moduli for speed and a
 //! simplified EMSA-PKCS#1-v1.5 padding (no ASN.1 `DigestInfo` prefix).
 
+use crate::ctx::{ExpCtx, SignCtx, VerifyCtx};
 use crate::sha256::{self, Digest};
-use dls_num::{gcd, modmath, BigUint};
+use dls_num::{gcd, modmath, BigUint, MontgomeryCtx};
 use rand::Rng;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default modulus size in bits. Small on purpose: sessions create one key
 /// pair per processor and property tests create many.
@@ -44,18 +46,41 @@ impl fmt::Display for RsaError {
 
 impl std::error::Error for RsaError {}
 
-/// RSA public key `(n, e)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// RSA public key `(n, e)` with its prebuilt [`VerifyCtx`].
+///
+/// The context (Montgomery constants for `n`, window schedule for `e`) is
+/// derived data: identity, equality, and hashing consider only `(n, e)`.
+#[derive(Clone)]
 pub struct PublicKey {
     n: BigUint,
     e: BigUint,
+    ctx: Arc<VerifyCtx>,
 }
 
-/// RSA secret key `(n, d)`.
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for PublicKey {}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Skip the derived Montgomery constants; (n, e) is the identity.
+        f.debug_struct("PublicKey")
+            .field("n", &self.n)
+            .field("e", &self.e)
+            .finish()
+    }
+}
+
+/// RSA secret key `(n, d)` with its prebuilt [`SignCtx`].
 #[derive(Clone)]
 pub struct SecretKey {
     n: BigUint,
     d: BigUint,
+    ctx: Arc<SignCtx>,
 }
 
 impl fmt::Debug for SecretKey {
@@ -80,8 +105,34 @@ impl PublicKey {
         self.verify_digest(&sha256::digest(message), sig)
     }
 
-    /// Verifies `sig` over a precomputed digest.
+    /// Verifies `sig` over `message` via plain `pow_mod` (see
+    /// [`verify_digest_naive`]): the pre-Montgomery reference path used as
+    /// the per-receiver cost baseline in benchmarks.
+    ///
+    /// [`verify_digest_naive`]: PublicKey::verify_digest_naive
+    pub fn verify_naive(&self, message: &[u8], sig: &RawSignature) -> bool {
+        self.verify_digest_naive(&sha256::digest(message), sig)
+    }
+
+    /// Verifies `sig` over a precomputed digest using the prebuilt
+    /// Montgomery context (the fast path).
     pub fn verify_digest(&self, digest: &Digest, sig: &RawSignature) -> bool {
+        let s = BigUint::from_bytes_be(&sig.0);
+        if s >= self.n {
+            return false;
+        }
+        let m = self.ctx.pow(&s);
+        let expected = pad_digest(digest, self.modulus_len());
+        m == BigUint::from_bytes_be(&expected)
+    }
+
+    /// Verifies `sig` via plain `pow_mod` — the pre-Montgomery reference
+    /// path, kept public as the differential oracle and the benchmark
+    /// baseline. Verdicts are bit-identical to [`verify_digest`]
+    /// (deterministic hash-then-modexp over the same unique residues).
+    ///
+    /// [`verify_digest`]: PublicKey::verify_digest
+    pub fn verify_digest_naive(&self, digest: &Digest, sig: &RawSignature) -> bool {
         let s = BigUint::from_bytes_be(&sig.0);
         if s >= self.n {
             return false;
@@ -89,6 +140,11 @@ impl PublicKey {
         let m = modmath::pow_mod(&s, &self.e, &self.n);
         let expected = pad_digest(digest, self.modulus_len());
         m == BigUint::from_bytes_be(&expected)
+    }
+
+    /// The prebuilt verification context.
+    pub fn verify_ctx(&self) -> &Arc<VerifyCtx> {
+        &self.ctx
     }
 }
 
@@ -98,8 +154,22 @@ impl SecretKey {
         self.sign_digest(&sha256::digest(message))
     }
 
-    /// Signs a precomputed digest.
+    /// Signs a precomputed digest using the prebuilt Montgomery context
+    /// (the fast path).
     pub fn sign_digest(&self, digest: &Digest) -> RawSignature {
+        let k = self.n.bits().div_ceil(8);
+        let m = BigUint::from_bytes_be(&pad_digest(digest, k));
+        debug_assert!(m < self.n);
+        let s = self.ctx.pow(&m);
+        RawSignature(s.to_bytes_be())
+    }
+
+    /// Signs via plain `pow_mod` — the pre-Montgomery reference path, kept
+    /// public as the differential oracle. Signature bytes are identical to
+    /// [`sign_digest`]'s.
+    ///
+    /// [`sign_digest`]: SecretKey::sign_digest
+    pub fn sign_digest_naive(&self, digest: &Digest) -> RawSignature {
         let k = self.n.bits().div_ceil(8);
         let m = BigUint::from_bytes_be(&pad_digest(digest, k));
         debug_assert!(m < self.n);
@@ -139,9 +209,24 @@ pub fn generate(bits: usize, rng: &mut impl Rng) -> Result<(PublicKey, SecretKey
             continue;
         }
         let d = modmath::inv_mod(&e, &phi).expect("coprime by check above");
+        // One Montgomery context per modulus, shared by both key halves;
+        // each half precomputes its own exponent's window schedule.
+        let mont = Arc::new(
+            MontgomeryCtx::new(&n).expect("RSA modulus is an odd semiprime > 1"),
+        );
+        let verify_ctx = Arc::new(ExpCtx::new(Arc::clone(&mont), &e));
+        let sign_ctx = Arc::new(ExpCtx::new(mont, &d));
         return Ok((
-            PublicKey { n: n.clone(), e },
-            SecretKey { n, d },
+            PublicKey {
+                n: n.clone(),
+                e,
+                ctx: verify_ctx,
+            },
+            SecretKey {
+                n,
+                d,
+                ctx: sign_ctx,
+            },
         ));
     }
 }
@@ -228,5 +313,42 @@ mod tests {
         let (_, sk) = keypair();
         let dbg = format!("{sk:?}");
         assert!(!dbg.contains(&sk.d.to_string()));
+    }
+
+    #[test]
+    fn montgomery_and_naive_paths_are_byte_identical() {
+        // Fixed-vector round trip: the Montgomery fast path must produce the
+        // same signature bytes and the same verdicts as the pre-Montgomery
+        // `pow_mod` path on identical inputs.
+        let (pk, sk) = keypair();
+        for msg in [
+            &b"bid: P3 offers w=2.25"[..],
+            b"",
+            b"payment vector Q = (1/3, 1/3, 1/3)",
+        ] {
+            let digest = sha256::digest(msg);
+            let fast = sk.sign_digest(&digest);
+            let naive = sk.sign_digest_naive(&digest);
+            assert_eq!(fast, naive, "signature bytes diverge on {msg:?}");
+            assert!(pk.verify_digest(&digest, &fast));
+            assert!(pk.verify_digest_naive(&digest, &fast));
+            // A tampered signature is rejected identically by both paths.
+            let mut bad = fast.clone();
+            bad.0[0] ^= 0x01;
+            assert_eq!(
+                pk.verify_digest(&digest, &bad),
+                pk.verify_digest_naive(&digest, &bad)
+            );
+            assert!(!pk.verify_digest(&digest, &bad));
+        }
+    }
+
+    #[test]
+    fn key_halves_share_one_montgomery_context() {
+        let (pk, sk) = keypair();
+        assert!(Arc::ptr_eq(
+            pk.verify_ctx().montgomery(),
+            sk.ctx.montgomery()
+        ));
     }
 }

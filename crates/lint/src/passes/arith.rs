@@ -26,8 +26,15 @@ use crate::lexer::{Token, TokenKind};
 use crate::rules::{in_ranges, UNCHECKED_ARITH};
 use crate::SourceFile;
 
-/// The limb kernels whose arithmetic feeds exact payments.
-const SCOPE: &[&str] = &["crates/num/src/biguint.rs", "crates/num/src/bigint.rs"];
+/// The limb kernels whose arithmetic feeds exact payments — including the
+/// Montgomery kernel and the per-key exponentiation contexts built on it,
+/// which now carry the RSA hot path.
+const SCOPE: &[&str] = &[
+    "crates/num/src/biguint.rs",
+    "crates/num/src/bigint.rs",
+    "crates/num/src/montgomery.rs",
+    "crates/crypto/src/ctx.rs",
+];
 
 /// `true` when the pass evaluates in `rel`.
 pub fn in_scope(rel: &str) -> bool {

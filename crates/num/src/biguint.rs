@@ -74,6 +74,14 @@ impl BigUint {
         &self.limbs
     }
 
+    /// Replaces `self`'s value with the little-endian limbs in `src`
+    /// (trailing zeros allowed), reusing the existing allocation.
+    pub(crate) fn assign_from_slice(&mut self, src: &[u32]) {
+        self.limbs.clear();
+        self.limbs.extend_from_slice(src);
+        self.normalize();
+    }
+
     /// `true` iff the value is `0`.
     #[inline]
     pub fn is_zero(&self) -> bool {
@@ -556,11 +564,29 @@ fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
     let mut us: Vec<u32> = (num << shift).limbs;
     let m = us.len() - n; // dls-lint: allow(unchecked-arith) -- knuth_d requires num >= den, so us.len() >= n
     us.push(0);
-    let vs: &[u32] = &v.limbs;
-    let vn1 = vs[n - 1] as u64;
-    let vn2 = vs[n - 2] as u64;
 
     let mut q = vec![0u32; m + 1];
+    knuth_d_core(&mut us, &v.limbs, Some(&mut q));
+
+    let quotient = BigUint::from_limbs_le(q);
+    let remainder = BigUint::from_limbs_le(us[..n].to_vec()) >> shift;
+    (quotient, remainder)
+}
+
+/// Main loop of Algorithm D over pre-normalized buffers, shared between
+/// [`knuth_d`] and the remainder-only scratch path in [`crate::modmath`].
+///
+/// `vs` is the shifted divisor (top bit of its last limb set, at least two
+/// limbs); `us` is the shifted dividend with one extra high limb appended
+/// (`us.len() >= vs.len() + 1`). On return `us[..vs.len()]` holds the still
+/// shifted remainder. Quotient limbs are written to `q_out` when provided
+/// (`q_out.len() == us.len() - vs.len()`); a remainder-only caller passes
+/// `None` and skips the quotient allocation entirely.
+pub(crate) fn knuth_d_core(us: &mut [u32], vs: &[u32], mut q_out: Option<&mut [u32]>) {
+    let n = vs.len();
+    let m = us.len() - 1 - n;
+    let vn1 = vs[n - 1] as u64;
+    let vn2 = vs[n - 2] as u64;
 
     for j in (0..=m).rev() {
         // Estimate q̂ = (u[j+n]·B + u[j+n-1]) / v[n-1], then correct.
@@ -610,12 +636,10 @@ fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
         } else {
             us[j + n] = d as u32;
         }
-        q[j] = qhat as u32;
+        if let Some(q) = q_out.as_deref_mut() {
+            q[j] = qhat as u32;
+        }
     }
-
-    let quotient = BigUint::from_limbs_le(q);
-    let remainder = BigUint::from_limbs_le(us[..n].to_vec()) >> shift;
-    (quotient, remainder)
 }
 
 // ---------------------------------------------------------------------------

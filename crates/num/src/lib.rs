@@ -36,10 +36,12 @@
 mod bigint;
 mod biguint;
 pub mod modmath;
+pub mod montgomery;
 mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::{BigUint, ParseBigUintError};
+pub use montgomery::{ExpWindows, MontgomeryCtx, MontgomeryError};
 pub use rational::{Rational, RationalError, RationalProduct};
 
 /// Greatest common divisor of two unsigned big integers.

@@ -1,8 +1,29 @@
 //! Modular arithmetic over [`BigUint`] — the kernel under the RSA-style
 //! signature substrate in `dls-crypto`.
+//!
+//! The operator forms ([`add_mod`], [`mul_mod`]) allocate a fresh result per
+//! call; the `_into` variants reuse caller-held [`ModScratch`] buffers so a
+//! hot loop (notably [`pow_mod`]'s per-bit squarings) runs allocation-lean.
+//! Both forms compute the same unique representative in `[0, m)`, which keeps
+//! [`pow_mod`] valid as the bit-exactness oracle for the Montgomery kernels
+//! in [`crate::montgomery`].
 
 use crate::bigint::BigInt;
-use crate::biguint::BigUint;
+use crate::biguint::{knuth_d_core, BigUint};
+use std::cmp::Ordering;
+
+/// Reusable scratch buffers for the `_into` modular kernels.
+///
+/// One instance serves any modulus size; buffers grow to the largest
+/// operands seen and are reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct ModScratch {
+    /// Product / working-dividend buffer (doubles as Knuth-D's in-place
+    /// remainder buffer).
+    us: Vec<u32>,
+    /// Normalized (shifted) divisor buffer.
+    vs: Vec<u32>,
+}
 
 /// `(a + b) mod m`.
 ///
@@ -10,6 +31,45 @@ use crate::biguint::BigUint;
 /// Panics if `m` is zero.
 pub fn add_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
     &(a + b) % m
+}
+
+/// `(a + b) mod m` into `out`, reusing `scratch` — no allocation once the
+/// buffers have grown to the operand size.
+///
+/// Requires reduced operands (`a < m`, `b < m`), so the sum is below `2m`
+/// and a single conditional subtract canonicalizes without dividing.
+///
+/// # Panics
+/// Panics if `m` is zero; debug-asserts the reduced-operand precondition.
+pub fn add_mod_into(
+    a: &BigUint,
+    b: &BigUint,
+    m: &BigUint,
+    scratch: &mut ModScratch,
+    out: &mut BigUint,
+) {
+    assert!(!m.is_zero(), "zero modulus");
+    debug_assert!(a < m && b < m, "add_mod_into requires reduced operands");
+    let us = &mut scratch.us;
+    us.clear();
+    let (al, bl) = (a.limbs(), b.limbs());
+    let (long, short) = if al.len() >= bl.len() { (al, bl) } else { (bl, al) };
+    let mut carry: u64 = 0;
+    for (i, &l) in long.iter().enumerate() {
+        let s = l as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        us.push(s as u32);
+        carry = s >> 32;
+    }
+    if carry != 0 {
+        us.push(carry as u32);
+    }
+    trim(us);
+    // a + b < 2m: subtract m at most once.
+    if cmp_slices(us, m.limbs()) != Ordering::Less {
+        sub_in_place(us, m.limbs());
+        trim(us);
+    }
+    out.assign_from_slice(us);
 }
 
 /// `(a * b) mod m`.
@@ -20,9 +80,36 @@ pub fn mul_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
     &(a * b) % m
 }
 
+/// `(a * b) mod m` into `out`, reusing `scratch` — the schoolbook product
+/// and the Knuth-D remainder both run in caller-held buffers, and the
+/// quotient is never materialized.
+///
+/// Accepts arbitrary (unreduced) operands, like [`mul_mod`].
+///
+/// # Panics
+/// Panics if `m` is zero.
+pub fn mul_mod_into(
+    a: &BigUint,
+    b: &BigUint,
+    m: &BigUint,
+    scratch: &mut ModScratch,
+    out: &mut BigUint,
+) {
+    assert!(!m.is_zero(), "zero modulus");
+    mul_limbs_into(a.limbs(), b.limbs(), &mut scratch.us);
+    rem_in_place(scratch, m);
+    out.assign_from_slice(&scratch.us);
+}
+
 /// `base^exp mod m` by left-to-right square-and-multiply.
 ///
 /// `pow_mod(_, 0, m) == 1 mod m`.
+///
+/// Every squaring and multiply routes through [`mul_mod_into`] over two work
+/// registers and one scratch set, so the loop allocates nothing after the
+/// first iteration. This function is the oracle the Montgomery differential
+/// suites compare against; [`crate::montgomery::MontgomeryCtx::pow`] must
+/// match it bit-for-bit.
 ///
 /// # Panics
 /// Panics if `m` is zero.
@@ -31,13 +118,17 @@ pub fn pow_mod(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
     if m.is_one() {
         return BigUint::zero();
     }
+    let mut scratch = ModScratch::default();
     let mut result = BigUint::one();
+    let mut tmp = BigUint::zero();
     let base = base % m;
     let nbits = exp.bits();
     for i in (0..nbits).rev() {
-        result = mul_mod(&result, &result, m);
+        mul_mod_into(&result, &result, m, &mut scratch, &mut tmp);
+        std::mem::swap(&mut result, &mut tmp);
         if exp.bit(i) {
-            result = mul_mod(&result, &base, m);
+            mul_mod_into(&result, &base, m, &mut scratch, &mut tmp);
+            std::mem::swap(&mut result, &mut tmp);
         }
     }
     result
@@ -62,12 +153,159 @@ pub fn inv_mod(a: &BigUint, m: &BigUint) -> Option<BigUint> {
     Some(inv.magnitude().clone())
 }
 
+// ---------------------------------------------------------------------------
+// Limb-buffer helpers for the `_into` kernels
+// ---------------------------------------------------------------------------
+
+/// Drops trailing zero limbs.
+fn trim(us: &mut Vec<u32>) {
+    while us.last() == Some(&0) {
+        us.pop();
+    }
+}
+
+/// Compares two trimmed little-endian limb slices.
+fn cmp_slices(a: &[u32], b: &[u32]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {}
+        ord => return ord,
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `us -= b` in place, assuming `us >= b` (as values).
+fn sub_in_place(us: &mut [u32], b: &[u32]) {
+    let mut borrow: i64 = 0;
+    for (i, limb) in us.iter_mut().enumerate() {
+        let d = *limb as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        if d < 0 {
+            *limb = (d + (1i64 << 32)) as u32;
+            borrow = 1;
+        } else {
+            *limb = d as u32;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+}
+
+/// Schoolbook product `a * b` into `out` (trimmed), reusing its allocation.
+fn mul_limbs_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    out.resize(a.len() + b.len(), 0);
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai as u64 * bj as u64 + out[i + j] as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+    }
+    trim(out);
+}
+
+/// Multiplies the buffer by `2^sh` in place (`sh < 32`), growing by one limb.
+fn shl_small_in_place(us: &mut Vec<u32>, sh: usize) {
+    if sh == 0 || us.is_empty() {
+        return;
+    }
+    us.push(0);
+    for i in (0..us.len() - 1).rev() {
+        let v = (us[i] as u64) << sh;
+        // The already-shifted limb above has its low `sh` bits zero, so the
+        // carry ORs in losslessly.
+        us[i + 1] |= (v >> 32) as u32;
+        us[i] = v as u32;
+    }
+}
+
+/// Divides the buffer by `2^sh` in place (`sh < 32`, low bits discarded).
+fn shr_small_in_place(us: &mut [u32], sh: usize) {
+    if sh == 0 {
+        return;
+    }
+    for i in 0..us.len() {
+        let hi = us.get(i + 1).copied().unwrap_or(0);
+        us[i] = (us[i] >> sh) | (((hi as u64) << (32 - sh)) as u32);
+    }
+}
+
+/// Reduces `scratch.us` modulo `m` in place (remainder-only Knuth D; no
+/// quotient storage, no allocation once the buffers have grown).
+fn rem_in_place(scratch: &mut ModScratch, m: &BigUint) {
+    trim(&mut scratch.us);
+    if cmp_slices(&scratch.us, m.limbs()) == Ordering::Less {
+        return;
+    }
+    let ml = m.limbs();
+    if ml.len() == 1 {
+        // Single-limb modulus: the same u64 scan as `divrem_small`, minus
+        // the quotient.
+        let d = ml[0] as u64;
+        let mut rem: u64 = 0;
+        for &l in scratch.us.iter().rev() {
+            rem = (((rem << 32) | l as u64) % d) & 0xffff_ffff;
+        }
+        scratch.us.clear();
+        if rem != 0 {
+            scratch.us.push(rem as u32);
+        }
+        return;
+    }
+    // Normalize: shift so the divisor's top limb has its high bit set, then
+    // run the shared Algorithm D core with no quotient sink.
+    let sh = ml.last().expect("multi-limb modulus").leading_zeros() as usize;
+    let vs = &mut scratch.vs;
+    vs.clear();
+    vs.extend_from_slice(ml);
+    shl_small_in_place(vs, sh);
+    trim(vs);
+    shl_small_in_place(&mut scratch.us, sh);
+    trim(&mut scratch.us);
+    scratch.us.push(0); // the extra high limb Algorithm D works in
+    knuth_d_core(&mut scratch.us, vs, None);
+    let n = vs.len();
+    scratch.us.truncate(n);
+    shr_small_in_place(&mut scratch.us, sh);
+    trim(&mut scratch.us);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn b(v: u64) -> BigUint {
         BigUint::from(v)
+    }
+
+    /// Deterministic pseudo-random value with roughly `limbs` limbs.
+    fn rnd(limbs: usize, seed: u32) -> BigUint {
+        let mut v = Vec::with_capacity(limbs);
+        let mut x = seed.wrapping_mul(0x9e3779b9) | 1;
+        for i in 0..limbs {
+            x = x.wrapping_mul(2654435761).wrapping_add(i as u32 | 1);
+            v.push(x);
+        }
+        BigUint::from_limbs_le(v)
     }
 
     #[test]
@@ -116,5 +354,71 @@ mod tests {
     fn add_mul_mod() {
         assert_eq!(add_mod(&b(8), &b(9), &b(10)), b(7));
         assert_eq!(mul_mod(&b(8), &b(9), &b(10)), b(2));
+    }
+
+    #[test]
+    fn mul_mod_into_matches_mul_mod() {
+        let mut scratch = ModScratch::default();
+        let mut out = BigUint::zero();
+        for (la, lb, lm) in [(1usize, 1usize, 1usize), (4, 3, 2), (8, 8, 5), (20, 20, 13), (40, 40, 33)] {
+            for seed in 0..10u32 {
+                let a = rnd(la, seed.wrapping_add(1));
+                let c = rnd(lb, seed.wrapping_add(100));
+                let mut m = rnd(lm, seed.wrapping_add(200));
+                if m.is_zero() {
+                    m = b(97);
+                }
+                mul_mod_into(&a, &c, &m, &mut scratch, &mut out);
+                assert_eq!(out, mul_mod(&a, &c, &m), "la={la} lb={lb} lm={lm} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_mod_into_edges() {
+        let mut scratch = ModScratch::default();
+        let mut out = BigUint::one();
+        // Zero operands and a product exactly divisible by m.
+        mul_mod_into(&BigUint::zero(), &b(7), &b(5), &mut scratch, &mut out);
+        assert_eq!(out, BigUint::zero());
+        mul_mod_into(&b(15), &b(4), &b(12), &mut scratch, &mut out);
+        assert_eq!(out, BigUint::zero());
+        // m = 1 → always 0.
+        mul_mod_into(&b(99), &b(98), &b(1), &mut scratch, &mut out);
+        assert_eq!(out, BigUint::zero());
+        // Product smaller than m (no division needed).
+        mul_mod_into(&b(3), &b(4), &b(1000), &mut scratch, &mut out);
+        assert_eq!(out, b(12));
+    }
+
+    #[test]
+    fn add_mod_into_matches_add_mod() {
+        let mut scratch = ModScratch::default();
+        let mut out = BigUint::zero();
+        for lm in [1usize, 2, 5, 16] {
+            for seed in 0..10u32 {
+                let mut m = rnd(lm, seed.wrapping_add(300));
+                if m.is_zero() || m.is_one() {
+                    m = b(101);
+                }
+                let a = &rnd(lm + 1, seed.wrapping_add(400)) % &m;
+                let c = &rnd(lm + 1, seed.wrapping_add(500)) % &m;
+                add_mod_into(&a, &c, &m, &mut scratch, &mut out);
+                assert_eq!(out, add_mod(&a, &c, &m), "lm={lm} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_into_wraps_exactly_once() {
+        let mut scratch = ModScratch::default();
+        let mut out = BigUint::zero();
+        let m = b(10);
+        add_mod_into(&b(8), &b(9), &m, &mut scratch, &mut out);
+        assert_eq!(out, b(7));
+        add_mod_into(&b(5), &b(5), &m, &mut scratch, &mut out);
+        assert_eq!(out, BigUint::zero());
+        add_mod_into(&b(1), &b(2), &m, &mut scratch, &mut out);
+        assert_eq!(out, b(3));
     }
 }

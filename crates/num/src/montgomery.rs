@@ -1,0 +1,547 @@
+//! Montgomery-form modular arithmetic over odd moduli — the fast path under
+//! the RSA-style signature substrate in `dls-crypto`.
+//!
+//! [`modmath::pow_mod`](crate::modmath::pow_mod) reduces every intermediate
+//! with a full Knuth-D division. A [`MontgomeryCtx`] instead precomputes, once
+//! per modulus, the constants that let every modular multiplication run as a
+//! single fused multiply-reduce pass (CIOS — Coarsely Integrated Operand
+//! Scanning) over the `u32` limb vectors: `n' = -n⁻¹ mod 2³²` (Hensel
+//! lifting) and `R² mod n` where `R = 2^(32·s)` for an `s`-limb modulus.
+//! Exponentiation uses a fixed-window (w = 4) ladder with a precomputed
+//! odd-power table; the window schedule itself ([`ExpWindows`]) depends only
+//! on the exponent and can be built once per key and reused across calls.
+//!
+//! Montgomery representation is a bijection `a ↦ a·R mod n` on `[0, n)`, and
+//! every kernel here returns the canonical representative, so results are
+//! bit-identical to the `pow_mod` oracle — the property the differential
+//! tests in this module and in `dls-crypto` pin down.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Window width (bits) for the fixed-window exponentiation ladder.
+///
+/// w = 4 needs an 8-entry odd-power table (1 squaring + 7 multiplies to
+/// build) and amortizes to one multiply per 4 exponent bits — the sweet spot
+/// for 384–2048-bit RSA exponents, where w = 5 would spend more on the
+/// 16-entry table than it saves.
+const WINDOW_BITS: u32 = 4;
+
+/// Odd powers stored in the table: `base^1, base^3, …, base^15`.
+const TABLE_LEN: usize = 1 << (WINDOW_BITS - 1);
+
+/// Error building a [`MontgomeryCtx`]: the modulus must be odd and > 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MontgomeryError {
+    /// The modulus is even (including zero); Montgomery reduction requires
+    /// `gcd(n, 2³²) = 1`.
+    EvenModulus,
+    /// The modulus is the unit `1`, which has no non-trivial residues.
+    UnitModulus,
+}
+
+impl fmt::Display for MontgomeryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MontgomeryError::EvenModulus => {
+                write!(f, "Montgomery modulus must be odd (gcd(n, 2^32) = 1)")
+            }
+            MontgomeryError::UnitModulus => {
+                write!(f, "Montgomery modulus must be > 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MontgomeryError {}
+
+/// Precomputed per-modulus constants for Montgomery multiplication.
+///
+/// Build once per odd modulus with [`MontgomeryCtx::new`]; every subsequent
+/// [`mul`](MontgomeryCtx::mul)/[`pow`](MontgomeryCtx::pow) reuses the
+/// constants and runs division-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    /// The modulus `n` (odd, > 1).
+    n: BigUint,
+    /// `n`'s limbs, exactly `s` words (top word non-zero).
+    n_limbs: Vec<u32>,
+    /// `-n⁻¹ mod 2³²`, via Hensel/Newton lifting from the low limb.
+    n0_inv: u32,
+    /// `R² mod n`, padded to `s` words (`R = 2^(32·s)`).
+    r2: Vec<u32>,
+    /// `R mod n`, padded to `s` words — the Montgomery form of `1`.
+    one: Vec<u32>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for the odd modulus `n > 1`.
+    pub fn new(n: &BigUint) -> Result<Self, MontgomeryError> {
+        if n.is_even() {
+            // Zero is even, so this also rejects n = 0.
+            return Err(MontgomeryError::EvenModulus);
+        }
+        if n.is_one() {
+            return Err(MontgomeryError::UnitModulus);
+        }
+        let n_limbs = n.limbs().to_vec();
+        let s = n_limbs.len();
+        // Hensel lifting: x ≡ n₀⁻¹ (mod 2^(2^k)) doubles its valid bits per
+        // Newton step x ← x·(2 − n₀·x); five steps from x = 1 (exact mod 2
+        // since n₀ is odd) reach 32 bits.
+        let n0 = n_limbs[0];
+        let mut x: u32 = 1;
+        for _ in 0..5 {
+            x = x.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(x)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(x), 1);
+        let n0_inv = x.wrapping_neg();
+        // dls-lint: allow(unchecked-arith) -- BigUint shift is arbitrary-precision
+        let r2 = &(BigUint::one() << (64 * s)) % n;
+        // dls-lint: allow(unchecked-arith) -- BigUint shift is arbitrary-precision
+        let one = &(BigUint::one() << (32 * s)) % n;
+        Ok(MontgomeryCtx {
+            n: n.clone(),
+            n0_inv,
+            r2: pad(r2.limbs(), s),
+            one: pad(one.limbs(), s),
+            n_limbs,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Operand width in `u32` limbs (`s`); every Montgomery vector this
+    /// context produces or consumes has exactly this length.
+    pub fn width(&self) -> usize {
+        self.n_limbs.len()
+    }
+
+    /// Converts `a` into Montgomery form `a·R mod n` (reducing `a` first, so
+    /// `a >= n` is fine).
+    pub fn to_mont(&self, a: &BigUint) -> Vec<u32> {
+        let reduced = a % &self.n;
+        let a_limbs = pad(reduced.limbs(), self.width());
+        self.mul(&a_limbs, &self.r2)
+    }
+
+    /// Converts a Montgomery vector back to the canonical integer in `[0, n)`.
+    pub fn from_mont(&self, a: &[u32]) -> BigUint {
+        let one_int = [1u32];
+        let mut t = Vec::new();
+        let mut out = vec![0u32; self.width()];
+        self.mul_into(a, &pad(&one_int, self.width()), &mut t, &mut out);
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Montgomery product `a·b·R⁻¹ mod n` of two width-`s` vectors.
+    pub fn mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut t = Vec::new();
+        let mut out = vec![0u32; self.width()];
+        self.mul_into(a, b, &mut t, &mut out);
+        out
+    }
+
+    /// CIOS multiply-reduce into `out`, reusing `t` as the working buffer.
+    ///
+    /// `a` and `b` are width-`s` Montgomery vectors (values < n); `out` must
+    /// be width `s` and must not alias `a` or `b`. The working value after
+    /// each outer iteration stays below `2n`, so `t` needs `s + 2` words and
+    /// the top word never exceeds 1 (the classical CIOS bound).
+    fn mul_into(&self, a: &[u32], b: &[u32], t: &mut Vec<u32>, out: &mut [u32]) {
+        let s = self.width();
+        debug_assert!(a.len() == s && b.len() == s && out.len() == s);
+        t.clear();
+        t.resize(s + 2, 0);
+        for i in 0..s {
+            // Multiply step: t += a · b[i].
+            let bi = b[i] as u64;
+            let mut carry: u64 = 0;
+            for j in 0..s {
+                // (2³²−1)² + 2·(2³²−1) = 2⁶⁴−1: the three-term sum fits u64.
+                let sum = t[j] as u64 + a[j] as u64 * bi + carry;
+                t[j] = sum as u32;
+                carry = sum >> 32;
+            }
+            let sum = t[s] as u64 + carry;
+            t[s] = sum as u32;
+            // sum < 2³³ (word + carry), so the overflow word is 0 or 1.
+            t[s + 1] = (sum >> 32) as u32;
+
+            // Reduce step: add m·n with m chosen so the low word cancels,
+            // then shift down one word.
+            let m = t[0].wrapping_mul(self.n0_inv) as u64;
+            let sum = t[0] as u64 + m * self.n_limbs[0] as u64;
+            debug_assert_eq!(sum as u32, 0, "low word must cancel");
+            let mut carry = sum >> 32;
+            for j in 1..s {
+                let sum = t[j] as u64 + m * self.n_limbs[j] as u64 + carry;
+                t[j - 1] = sum as u32;
+                carry = sum >> 32;
+            }
+            let sum = t[s] as u64 + carry;
+            t[s - 1] = sum as u32;
+            // Both addends are at most 1 (CIOS invariant + carry), so the
+            // top word stays 0 or 1 and the sum cannot wrap.
+            t[s] = (t[s + 1] as u64 + (sum >> 32)) as u32;
+        }
+        // Final value is t[0..=s] < 2n: one conditional subtract canonicalizes.
+        let ge = t[s] != 0 || cmp_limbs(&t[..s], &self.n_limbs) != Ordering::Less;
+        if !ge {
+            out.copy_from_slice(&t[..s]);
+            return;
+        }
+        let mut borrow: i64 = 0;
+        for j in 0..s {
+            let d = t[j] as i64 - self.n_limbs[j] as i64 - borrow;
+            if d < 0 {
+                // dls-lint: allow(unchecked-arith) -- d in (-2^32, 0), so d + 2^32 fits i64 and u32
+                out[j] = (d + (1i64 << 32)) as u32;
+                borrow = 1;
+            } else {
+                out[j] = d as u32;
+                borrow = 0;
+            }
+        }
+        // t < 2n guarantees the final borrow is absorbed by t[s].
+        debug_assert_eq!(t[s] as i64, borrow, "reduction must not underflow");
+    }
+
+    /// `base^exp mod n` with a per-call window schedule.
+    ///
+    /// Matches [`modmath::pow_mod`](crate::modmath::pow_mod) bit-for-bit on
+    /// every input (including `base >= n` and `exp = 0`).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.pow_windows(base, &ExpWindows::new(exp))
+    }
+
+    /// `base^exp mod n` with a precomputed window schedule (build once per
+    /// exponent with [`ExpWindows::new`], reuse for every base).
+    pub fn pow_windows(&self, base: &BigUint, windows: &ExpWindows) -> BigUint {
+        let base_mont = self.to_mont(base);
+        let result = self.pow_to_mont(&base_mont, windows);
+        self.from_mont(&result)
+    }
+
+    /// Windowed exponentiation entirely in the Montgomery domain: maps a
+    /// Montgomery-form base to the Montgomery form of `base^exp`.
+    ///
+    /// Staying in the domain lets callers (e.g. Miller–Rabin) compare
+    /// intermediate values against precomputed Montgomery constants without
+    /// converting back — the representation is a bijection, so vector
+    /// equality is value equality.
+    pub fn pow_to_mont(&self, base_mont: &[u32], windows: &ExpWindows) -> Vec<u32> {
+        let s = self.width();
+        debug_assert_eq!(base_mont.len(), s);
+        if windows.ops.is_empty() {
+            // exp = 0: the empty product is 1.
+            return self.one.clone();
+        }
+        // Odd-power table: table[i] = base^(2i+1) in Montgomery form.
+        let sq = self.mul(base_mont, base_mont);
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(TABLE_LEN);
+        table.push(base_mont.to_vec());
+        for i in 1..TABLE_LEN {
+            table.push(self.mul(&table[i - 1], &sq));
+        }
+        // Left-to-right ladder over the schedule; `acc = None` until the
+        // leading window lands (skipping its squarings of 1).
+        let mut t = Vec::new();
+        let mut tmp = vec![0u32; s];
+        let mut acc: Option<Vec<u32>> = None;
+        for op in &windows.ops {
+            match *op {
+                WindowOp::Squares(k) => {
+                    if let Some(cur) = acc.as_mut() {
+                        for _ in 0..k {
+                            self.mul_into(cur, cur, &mut t, &mut tmp);
+                            std::mem::swap(cur, &mut tmp);
+                        }
+                    }
+                }
+                WindowOp::MulOdd(idx) => match acc.as_mut() {
+                    None => acc = Some(table[idx as usize].clone()),
+                    Some(cur) => {
+                        self.mul_into(cur, &table[idx as usize], &mut t, &mut tmp);
+                        std::mem::swap(cur, &mut tmp);
+                    }
+                },
+            }
+        }
+        acc.expect("non-empty schedule ends with a window")
+    }
+}
+
+/// One step of a windowed-exponentiation schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowOp {
+    /// Square the accumulator `k` times.
+    Squares(u32),
+    /// Multiply by the odd power `base^(2i+1)` at table index `i`.
+    MulOdd(u8),
+}
+
+/// A precomputed fixed-window (w = 4) exponentiation schedule.
+///
+/// Depends only on the exponent, so a key's schedule is built once and
+/// reused for every signature/verification under that key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpWindows {
+    ops: Vec<WindowOp>,
+}
+
+impl ExpWindows {
+    /// Scans `exp` left-to-right into maximal ≤4-bit windows ending in a set
+    /// bit, so every window value is odd and the table stays half-size.
+    pub fn new(exp: &BigUint) -> Self {
+        let mut ops = Vec::new();
+        let mut i = exp.bits() as i64 - 1;
+        let mut pending: u32 = 0;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                pending += 1;
+                i -= 1;
+                continue;
+            }
+            // Window [j..=i]: lowest set bit within WINDOW_BITS of i.
+            let lo = if i >= WINDOW_BITS as i64 - 1 {
+                i - (WINDOW_BITS as i64 - 1)
+            } else {
+                0
+            };
+            let mut j = lo;
+            while !exp.bit(j as usize) {
+                j += 1;
+            }
+            // dls-lint: allow(unchecked-arith) -- j <= i by loop bound, width <= WINDOW_BITS
+            let width = (i - j + 1) as u32;
+            let mut u: u8 = 0;
+            for k in (j..=i).rev() {
+                u = (u << 1) | exp.bit(k as usize) as u8;
+            }
+            // Pending squarings from the zero run fold into the window's own.
+            // dls-lint: allow(unchecked-arith) -- pending + width <= exp.bits() + 4, far below u32::MAX
+            ops.push(WindowOp::Squares(pending + width));
+            // u is odd (bit j is set), so u >> 1 indexes the odd-power table.
+            ops.push(WindowOp::MulOdd(u >> 1));
+            pending = 0;
+            i = j - 1;
+        }
+        if pending > 0 {
+            ops.push(WindowOp::Squares(pending));
+        }
+        ExpWindows { ops }
+    }
+}
+
+/// Copies `limbs` into a fresh width-`s` vector, zero-extended at the top.
+fn pad(limbs: &[u32], s: usize) -> Vec<u32> {
+    debug_assert!(limbs.len() <= s);
+    let mut out = vec![0u32; s];
+    out[..limbs.len()].copy_from_slice(limbs);
+    out
+}
+
+/// Compares two equal-width little-endian limb slices.
+fn cmp_limbs(a: &[u32], b: &[u32]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modmath;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    /// Deterministic pseudo-random value of exactly `bits` bits.
+    fn rnd(bits: usize, seed: u32) -> BigUint {
+        let limbs = bits.div_ceil(32);
+        let mut v = Vec::with_capacity(limbs);
+        let mut x = seed.wrapping_mul(0x9e3779b9) | 1;
+        for i in 0..limbs {
+            x = x.wrapping_mul(2654435761).wrapping_add(i as u32 | 1);
+            v.push(x);
+        }
+        let mut out = BigUint::from_limbs_le(v);
+        // Trim to the requested width and force the top bit.
+        out = &out >> (limbs * 32 - bits);
+        out.set_bit(bits - 1, true);
+        out
+    }
+
+    #[test]
+    fn rejects_even_and_unit_moduli() {
+        assert_eq!(
+            MontgomeryCtx::new(&BigUint::zero()),
+            Err(MontgomeryError::EvenModulus)
+        );
+        assert_eq!(
+            MontgomeryCtx::new(&b(4096)),
+            Err(MontgomeryError::EvenModulus)
+        );
+        assert_eq!(
+            MontgomeryCtx::new(&BigUint::one()),
+            Err(MontgomeryError::UnitModulus)
+        );
+        assert!(MontgomeryCtx::new(&b(3)).is_ok());
+    }
+
+    #[test]
+    fn n0_inv_is_negative_inverse() {
+        for n in [3u64, 17, 0xffff_fffb, 0x1_0000_0001, 12345678901234567] {
+            let ctx = MontgomeryCtx::new(&b(n | 1)).unwrap();
+            let n0 = ctx.n_limbs[0];
+            assert_eq!(n0.wrapping_mul(ctx.n0_inv), u32::MAX, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_to_from_mont() {
+        let mut n = rnd(192, 11);
+        n.set_bit(0, true);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for seed in 0..20 {
+            let a = rnd(192, 100 + seed);
+            let am = ctx.to_mont(&a);
+            assert_eq!(ctx.from_mont(&am), &a % &n, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_mul_mod() {
+        for bits in [64usize, 96, 192, 512] {
+            let mut n = rnd(bits, 7);
+            n.set_bit(0, true);
+            let ctx = MontgomeryCtx::new(&n).unwrap();
+            for seed in 0..10 {
+                let a = &rnd(bits, 31 + seed) % &n;
+                let c = &rnd(bits, 77 + seed) % &n;
+                let prod = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&c)));
+                assert_eq!(prod, modmath::mul_mod(&a, &c, &n), "bits {bits} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_pow_mod_random() {
+        for bits in [64usize, 128, 384, 1024, 2048] {
+            let mut n = rnd(bits, 5);
+            n.set_bit(0, true);
+            let ctx = MontgomeryCtx::new(&n).unwrap();
+            for seed in 0..4 {
+                let base = rnd(bits, 1000 + seed);
+                let exp = rnd(bits.min(256), 2000 + seed);
+                assert_eq!(
+                    ctx.pow(&base, &exp),
+                    modmath::pow_mod(&base, &exp, &n),
+                    "bits {bits} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let n = b(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        // exp = 0 → 1.
+        assert_eq!(ctx.pow(&b(5), &BigUint::zero()), BigUint::one());
+        // base >= n reduces first.
+        let big_base = &(&n * &n) + &b(17);
+        assert_eq!(
+            ctx.pow(&big_base, &b(1234)),
+            modmath::pow_mod(&big_base, &b(1234), &n)
+        );
+        // base = 0.
+        assert_eq!(ctx.pow(&BigUint::zero(), &b(9)), BigUint::zero());
+        // base ≡ 0 (mod n).
+        assert_eq!(ctx.pow(&n, &b(3)), BigUint::zero());
+        // Single-limb modulus, exponent 1.
+        let ctx3 = MontgomeryCtx::new(&b(3)).unwrap();
+        assert_eq!(ctx3.pow(&b(7), &BigUint::one()), b(1));
+    }
+
+    #[test]
+    fn pow_fermat() {
+        let p = b(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        for a in [2u64, 3, 65_537, 999_999_999] {
+            assert_eq!(ctx.pow(&b(a), &(&p - &b(1))), BigUint::one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn window_schedule_reuse_is_consistent() {
+        let mut n = rnd(256, 3);
+        n.set_bit(0, true);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let exp = b(65_537);
+        let windows = ExpWindows::new(&exp);
+        for seed in 0..8 {
+            let base = rnd(256, 500 + seed);
+            assert_eq!(
+                ctx.pow_windows(&base, &windows),
+                modmath::pow_mod(&base, &exp, &n),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_schedule_covers_exponent_shapes() {
+        // All-ones, single-bit, sparse, and dense exponents exercise every
+        // branch of the window scanner.
+        let mut n = rnd(128, 9);
+        n.set_bit(0, true);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let exps = [
+            BigUint::zero(),
+            BigUint::one(),
+            b(2),
+            b(15),
+            b(16),
+            b(0b1000_0001),
+            (BigUint::one() << 127usize) - &BigUint::one(),
+            BigUint::one() << 127usize,
+            b(0xdead_beef_cafe_babe),
+        ];
+        for (k, exp) in exps.iter().enumerate() {
+            for seed in 0..3 {
+                let base = rnd(128, 40 + seed);
+                assert_eq!(
+                    ctx.pow(&base, exp),
+                    modmath::pow_mod(&base, exp, &n),
+                    "exp #{k} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_to_mont_stays_in_domain() {
+        let p = b(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let base = b(123_456);
+        let exp = b(7919);
+        let bm = ctx.to_mont(&base);
+        let rm = ctx.pow_to_mont(&bm, &ExpWindows::new(&exp));
+        // Domain equality: the Montgomery vector of the expected value.
+        let expected = modmath::pow_mod(&base, &exp, &p);
+        assert_eq!(rm, ctx.to_mont(&expected));
+        assert_eq!(ctx.from_mont(&rm), expected);
+    }
+}

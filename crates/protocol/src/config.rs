@@ -11,6 +11,34 @@ use std::fmt;
 /// small enough that a crashed participant is detected promptly.
 pub const DEFAULT_PHASE_BUDGET_MS: u64 = 5_000;
 
+/// How the session accounts for signature-verification work.
+///
+/// Verification is deterministic (hash-then-modexp over fixed bytes under a
+/// fixed registry), so both profiles produce bit-identical session outcomes;
+/// they differ only in how many modexps they spend getting there. The
+/// per-receiver profile exists as an honest measurement baseline for the
+/// sessions benchmark, re-verifying every envelope at every receiver the way
+/// the pre-cache runtime did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CryptoProfile {
+    /// Verify each distinct envelope once per session and share the verdict
+    /// across receivers through the session's verification cache.
+    #[default]
+    Amortized,
+    /// Verify every envelope independently at every receiver with the plain
+    /// `pow_mod` path — the pre-Montgomery, pre-cache cost model.
+    PerReceiverNaive,
+}
+
+impl fmt::Display for CryptoProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoProfile::Amortized => write!(f, "amortized"),
+            CryptoProfile::PerReceiverNaive => write!(f, "per-receiver"),
+        }
+    }
+}
+
 /// How a strategic processor plays the protocol. Every variant other than
 /// [`Behavior::Compliant`] models one of the offences enumerated at the end
 /// of §4 (or a strategic-but-legal manipulation of the §3 mechanism).
@@ -268,6 +296,9 @@ pub struct SessionConfig {
     /// instead of hanging the session. Delays below the budget are
     /// tolerated stragglers.
     pub phase_budget_ms: u64,
+    /// Signature-verification cost model (outcome-neutral; see
+    /// [`CryptoProfile`]).
+    pub crypto_profile: CryptoProfile,
 }
 
 impl SessionConfig {
@@ -283,6 +314,7 @@ impl SessionConfig {
             key_bits: dls_crypto::rsa::MIN_MODULUS_BITS,
             seed: 0,
             phase_budget_ms: DEFAULT_PHASE_BUDGET_MS,
+            crypto_profile: CryptoProfile::default(),
         }
     }
 
@@ -333,6 +365,7 @@ pub struct SessionConfigBuilder {
     key_bits: usize,
     seed: u64,
     phase_budget_ms: u64,
+    crypto_profile: CryptoProfile,
 }
 
 impl SessionConfigBuilder {
@@ -377,6 +410,13 @@ impl SessionConfigBuilder {
     /// non-zero at `build`).
     pub fn phase_budget_ms(mut self, ms: u64) -> Self {
         self.phase_budget_ms = ms;
+        self
+    }
+
+    /// Sets the signature-verification cost model (default
+    /// [`CryptoProfile::Amortized`]; outcome-neutral either way).
+    pub fn crypto_profile(mut self, profile: CryptoProfile) -> Self {
+        self.crypto_profile = profile;
         self
     }
 
@@ -456,6 +496,7 @@ impl SessionConfigBuilder {
             key_bits: self.key_bits,
             seed: self.seed,
             phase_budget_ms: self.phase_budget_ms,
+            crypto_profile: self.crypto_profile,
         };
         // Validate the bid vector as DLT parameters.
         let _ = BusParams::new(cfg.z, cfg.bids())?;
@@ -604,6 +645,22 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(plain.phase_budget_ms, DEFAULT_PHASE_BUDGET_MS);
+    }
+
+    #[test]
+    fn crypto_profile_defaults_to_amortized() {
+        let cfg = SessionConfig::builder(SystemModel::NcpFe, 0.2)
+            .processors(three_compliant())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.crypto_profile, CryptoProfile::Amortized);
+        let naive = SessionConfig::builder(SystemModel::NcpFe, 0.2)
+            .processors(three_compliant())
+            .crypto_profile(CryptoProfile::PerReceiverNaive)
+            .build()
+            .unwrap();
+        assert_eq!(naive.crypto_profile, CryptoProfile::PerReceiverNaive);
+        assert_eq!(naive.crypto_profile.to_string(), "per-receiver");
     }
 
     #[test]

@@ -54,7 +54,7 @@
 //! single-equivocator case, where both agree).
 
 use crate::blocks::{integer_allocation, DataSet, SignedBlock, USER_IDENTITY};
-use crate::config::{Behavior, ProcessorConfig, SessionConfig};
+use crate::config::{Behavior, CryptoProfile, ProcessorConfig, SessionConfig};
 use crate::fault::{FaultKind, FaultPlan, LivenessFault};
 use crate::messages::{
     BidBody, Evidence, GrantBody, Msg, PaymentEntry, PaymentVectorBody, PhaseReport, Verdict,
@@ -63,12 +63,12 @@ use crate::referee::{Phase, Referee};
 use crate::runtime::{
     faulted_send, generate_keys_cached, merge_defaults, missing, record_verdict, referee_model,
     referee_registry, referee_z, remap_active_configs, run_session_with, vectors_all_equal,
-    verify_bid_view, MessageStats, ProcResult, ProtocolViolation, RefResult, RoundOutput,
-    RunError, SessionOutcome,
+    verify_bid_view, verify_profiled, MessageStats, ProcResult, ProtocolViolation, RefResult,
+    RoundOutput, RunError, SessionOutcome,
 };
 use crate::sched::{resolve_barrier, shard, EventQueue, VirtualClock};
 use dls_crypto::pki::{KeyPair, Registry};
-use dls_crypto::Signed;
+use dls_crypto::{Signed, VerifyCache};
 use dls_dlt::BusParams;
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -583,11 +583,33 @@ struct BidCollection {
     conflicts: Vec<(usize, Signed<BidBody>, Signed<BidBody>)>,
 }
 
-fn collect_bids(net: &VmNet, m: usize, registry: &Registry) -> BidCollection {
+fn collect_bids(
+    net: &VmNet,
+    m: usize,
+    registry: &Registry,
+    cache: &VerifyCache,
+    profile: CryptoProfile,
+) -> BidCollection {
     let mut slots: Vec<Option<Signed<BidBody>>> = vec![None; m];
     let mut conflicts = Vec::new();
     for (_, signed) in &net.bid_log {
-        let Ok(body) = signed.verify(registry) else {
+        let verified = match profile {
+            // One cached verification per logged broadcast; later passes
+            // over the same envelope (anywhere in the round) are memo hits.
+            CryptoProfile::Amortized => signed.verify_cached(registry, cache),
+            // Honest per-receiver cost model: each of the m−1 receivers of
+            // the atomic broadcast verifies for itself. Verification is
+            // deterministic, so the extra modexps burn time, never change
+            // the verdict.
+            CryptoProfile::PerReceiverNaive => {
+                let receivers = m.saturating_sub(1);
+                for _ in 1..receivers {
+                    let _ = signed.verify_naive(registry);
+                }
+                signed.verify_naive(registry)
+            }
+        };
+        let Ok(body) = verified else {
             continue; // failed verification: discarded (§4)
         };
         let sender = body.processor;
@@ -637,6 +659,11 @@ pub(crate) fn run_round_vm(
     let dataset = dataset_cached(cfg.seed, cfg.key_bits, cfg.blocks, &user)?;
     let originator = cfg.model.originator(m).ok_or(RunError::UnsupportedModel)?;
     let referee = Referee::new(registry.clone(), cfg.model, cfg.z, m, cfg.fine, cfg.blocks);
+    // Per-ROUND cache, like the threaded path: survivor re-runs rebind
+    // identities to different keys, so memoized verdicts must not outlive
+    // the round.
+    let verify_cache = VerifyCache::new();
+    let profile = cfg.crypto_profile;
 
     let model = cfg.model;
     let z = cfg.z;
@@ -750,7 +777,7 @@ pub(crate) fn run_round_vm(
     vm_barrier(Phase::Bidding, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B1
 
     // Shared bid collection + per-machine reports (pre-B2).
-    let collected = collect_bids(&net, m, &registry);
+    let collected = collect_bids(&net, m, &registry, &verify_cache, profile);
     for p in machines.iter_mut() {
         if p.state != ProcessorState::Bidding {
             continue;
@@ -895,10 +922,11 @@ pub(crate) fn run_round_vm(
                 })
                 .and_then(|mut v| v.pop());
             if let Some(grant) = granted {
-                let valid_blocks = match grant.verify(&registry) {
-                    Ok(body) => count_valid_blocks(body, &dataset, &registry),
-                    Err(_) => 0,
-                };
+                let valid_blocks =
+                    match verify_profiled(&grant, &registry, &verify_cache, profile) {
+                        Ok(body) => count_valid_blocks(body, &dataset, &registry),
+                        Err(_) => 0,
+                    };
                 p.result.blocks_granted = valid_blocks;
                 p.my_blocks_len = grant.body_unverified().blocks.len();
                 let expected = counts.get(p.i).copied().unwrap_or(0);
@@ -1083,9 +1111,17 @@ pub(crate) fn run_round_vm(
             _ => {}
         }
     }
+    // Phase-level batch sweep (mirror of the threaded referee): settle
+    // every envelope's verdict once so the delivered sweep, equality
+    // check, and any dispute path hit memoized verdicts.
+    if profile == CryptoProfile::Amortized {
+        for sv in &vectors {
+            let _ = sv.verify_cached(referee_registry(&referee), &verify_cache);
+        }
+    }
     let mut delivered = BTreeSet::new();
     for sv in &vectors {
-        if let Ok(body) = sv.verify(referee_registry(&referee)) {
+        if let Ok(body) = verify_profiled(sv, referee_registry(&referee), &verify_cache, profile) {
             if sv.signer() == format!("P{}", body.processor + 1) && body.processor < m {
                 delivered.insert(body.processor);
             }
@@ -1094,7 +1130,7 @@ pub(crate) fn run_round_vm(
     watch.sweep(Phase::Payments, &delivered);
     rr.delivered_vectors = delivered;
 
-    let agreed = if vectors_all_equal(&vectors, m, &referee) {
+    let agreed = if vectors_all_equal(&vectors, m, &referee, &verify_cache, profile) {
         vectors.first()
     } else {
         None
@@ -1162,7 +1198,9 @@ pub(crate) fn run_round_vm(
         match msg {
             Msg::BidView { view, .. } => {
                 if agreed_bids.is_none() {
-                    if let Some(b) = verify_bid_view(&view, m, &referee) {
+                    if let Some(b) =
+                        verify_bid_view(&view, m, &referee, &verify_cache, profile)
+                    {
                         agreed_bids = Some(b);
                     }
                 }
@@ -1383,6 +1421,43 @@ mod tests {
             let want = run_session_vm(cfg).expect("vm");
             let got = got.as_ref().expect("pooled");
             outcomes_equal(&want, got);
+        }
+    }
+
+    #[test]
+    fn per_receiver_profile_is_outcome_neutral() {
+        // The crypto profile changes how many modexps verification spends,
+        // never a verdict: amortized and per-receiver sessions must be
+        // bit-identical, on both executors, across a clean run, an
+        // equivocation abort, and a payment dispute (the dispute exercises
+        // the profiled bid-view adjudication path).
+        let scenarios: [&[Behavior]; 3] = [
+            &[Behavior::Compliant; 4],
+            &[
+                Behavior::EquivocateBids { factor: 1.5 },
+                Behavior::Compliant,
+                Behavior::Compliant,
+                Behavior::Compliant,
+            ],
+            &[
+                Behavior::Compliant,
+                Behavior::CorruptPayments {
+                    target: 0,
+                    factor: 0.25,
+                },
+                Behavior::Compliant,
+                Behavior::Compliant,
+            ],
+        ];
+        for behaviors in scenarios {
+            let amortized = base_cfg(behaviors);
+            let mut naive = base_cfg(behaviors);
+            naive.crypto_profile = CryptoProfile::PerReceiverNaive;
+            let a = run_session_vm(&amortized).expect("amortized vm");
+            let b = run_session_vm(&naive).expect("per-receiver vm");
+            outcomes_equal(&a, &b);
+            let threaded = run_session(&naive).expect("per-receiver threaded");
+            outcomes_equal(&threaded, &b);
         }
     }
 

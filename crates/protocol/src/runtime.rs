@@ -40,7 +40,7 @@
 //! [`SessionOutcome::degradation`].
 
 use crate::blocks::{integer_allocation, DataSet, USER_IDENTITY};
-use crate::config::{Behavior, ProcessorConfig, SessionConfig};
+use crate::config::{Behavior, CryptoProfile, ProcessorConfig, SessionConfig};
 use crate::fault::{DegradationReport, FaultKind, FaultPlan, LivenessFault};
 use crate::ledger::{Account, Ledger, TransferReason};
 use crate::messages::{
@@ -49,8 +49,8 @@ use crate::messages::{
 };
 use crate::referee::{Phase, Referee};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dls_crypto::pki::{KeyPair, Registry};
-use dls_crypto::Signed;
+use dls_crypto::pki::{KeyPair, Registry, SignatureError};
+use dls_crypto::{Signed, VerifyCache};
 use dls_dlt::{BusParams, SystemModel};
 use dls_netsim::{simulate, SessionSpec as NetSessionSpec, Timeline};
 use parking_lot::{Condvar, Mutex};
@@ -1083,6 +1083,13 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
         cfg.fine,
         cfg.blocks,
     );
+    // Per-ROUND verification cache (never per-session): survivor re-runs
+    // rebind identities `P1..Pk` to different original processors, so the
+    // same (signer, body, signature) triple can verify under a *different*
+    // public key next round. A fresh cache per round keeps memoized
+    // verdicts sound.
+    let verify_cache = VerifyCache::new();
+    let profile = cfg.crypto_profile;
 
     // --- Channels, barrier, transport -------------------------------------
     let mut proc_txs = Vec::with_capacity(m);
@@ -1144,6 +1151,8 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
                 cfg: *pcfg,
                 key,
                 registry: registry.clone(),
+                verify_cache: verify_cache.clone(),
+                profile,
                 net: Arc::clone(&net),
                 barrier: Arc::clone(&barrier),
                 rx,
@@ -1166,6 +1175,7 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
             let barrier = Arc::clone(&barrier);
             let dataset = Arc::clone(&dataset);
             let referee = referee.clone();
+            let verify_cache = verify_cache.clone();
             scope.spawn(move || {
                 let _guard = AbortOnPanic(Arc::clone(&barrier));
                 let r = referee_main(
@@ -1176,6 +1186,8 @@ fn run_round(cfg: &SessionConfig, active: &[usize]) -> Result<RoundOutput, RunEr
                     ref_rx,
                     dataset,
                     budget,
+                    verify_cache,
+                    profile,
                 );
                 if let Err(e) = &r {
                     barrier.abort(violation_of(e));
@@ -1347,6 +1359,9 @@ struct ProcCtx {
     cfg: ProcessorConfig,
     key: KeyPair,
     registry: Registry,
+    /// Round-scoped memo of signature verdicts, shared by every receiver.
+    verify_cache: VerifyCache,
+    profile: CryptoProfile,
     net: Arc<Net>,
     barrier: Arc<PhaseBarrier>,
     rx: Receiver<Msg>,
@@ -1374,6 +1389,8 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
         cfg,
         key,
         registry,
+        verify_cache,
+        profile,
         net,
         barrier,
         rx,
@@ -1447,7 +1464,11 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
         _ => None,
     });
     for signed in incoming_bids {
-        let Ok(body) = signed.verify(&registry) else {
+        // The all-to-all broadcast is the verification hot spot: m·(m−1)
+        // envelope checks per round. Under the amortized profile the
+        // round-shared cache collapses that to one modexp per distinct
+        // envelope; the naive profile verifies per receiver as a baseline.
+        let Ok(body) = verify_profiled(&signed, &registry, &verify_cache, profile) else {
             continue; // failed verification: discarded (§4)
         };
         let sender = body.processor;
@@ -1573,12 +1594,13 @@ fn processor_main(ctx: ProcCtx) -> Result<ProcResult, RunError> {
             .pop();
         match granted {
             Some(grant) => {
-                let valid_blocks = grant
-                    .verify(&registry)
+                let valid_blocks = verify_profiled(&grant, &registry, &verify_cache, profile)
                     .map(|body| {
                         body.blocks
                             .iter()
-                            .filter(|b| b.verify(&registry).is_ok())
+                            .filter(|b| {
+                                verify_profiled(b, &registry, &verify_cache, profile).is_ok()
+                            })
                             .count()
                     })
                     .unwrap_or(0);
@@ -1853,6 +1875,8 @@ fn referee_main(
     rx: Receiver<(usize, Msg)>,
     dataset: Arc<DataSet>,
     budget: Duration,
+    verify_cache: VerifyCache,
+    profile: CryptoProfile,
 ) -> Result<RefResult, RunError> {
     let mut result = RefResult {
         aborted: None,
@@ -1955,9 +1979,19 @@ fn referee_main(
             _ => {}
         }
     }
+    // Phase-level batch sweep: settle every envelope's verdict once, up
+    // front. The delivered sweep below, the equality check, and (on
+    // dispute) the adjudication path all re-examine the same vectors, so
+    // under the amortized profile they hit memoized verdicts instead of
+    // repeating the modexp.
+    if profile == CryptoProfile::Amortized {
+        for sv in &vectors {
+            let _ = sv.verify_cached(referee_registry(&referee), &verify_cache);
+        }
+    }
     let mut delivered = BTreeSet::new();
     for sv in &vectors {
-        if let Ok(body) = sv.verify(referee_registry(&referee)) {
+        if let Ok(body) = verify_profiled(sv, referee_registry(&referee), &verify_cache, profile) {
             if sv.signer() == format!("P{}", body.processor + 1) && body.processor < m {
                 delivered.insert(body.processor);
             }
@@ -1967,7 +2001,7 @@ fn referee_main(
     result.delivered_vectors = delivered;
 
     // First, the cheap equality check (no processor parameters needed).
-    let agreed = if vectors_all_equal(&vectors, m, &referee) {
+    let agreed = if vectors_all_equal(&vectors, m, &referee, &verify_cache, profile) {
         vectors.first()
     } else {
         None
@@ -1995,7 +2029,7 @@ fn referee_main(
         match msg {
             Msg::BidView { view, .. } => {
                 if bids.is_none() {
-                    if let Some(b) = verify_bid_view(&view, m, &referee) {
+                    if let Some(b) = verify_bid_view(&view, m, &referee, &verify_cache, profile) {
                         bids = Some(b);
                     }
                 }
@@ -2066,17 +2100,38 @@ pub(crate) fn record_verdict(result: &mut RefResult, phase: Phase, verdict: &Ver
     result.verdicts.push((phase, verdict.clone()));
 }
 
+/// Routes one envelope verification through the session's crypto profile:
+/// `Amortized` memoizes the verdict in the round-shared [`VerifyCache`]
+/// (one modexp per distinct envelope, every later receiver hits the
+/// cache); `PerReceiverNaive` re-verifies via plain `pow_mod` every time,
+/// modelling the pre-Montgomery per-receiver cost. Verification is
+/// deterministic, so both routes return identical verdicts — the profile
+/// changes only how many modexps are spent, never the outcome.
+pub(crate) fn verify_profiled<'a, T: serde::Serialize>(
+    signed: &'a Signed<T>,
+    registry: &Registry,
+    cache: &VerifyCache,
+    profile: CryptoProfile,
+) -> Result<&'a T, SignatureError> {
+    match profile {
+        CryptoProfile::Amortized => signed.verify_cached(registry, cache),
+        CryptoProfile::PerReceiverNaive => signed.verify_naive(registry),
+    }
+}
+
 /// Equality check across submitted payment vectors: requires a verified
 /// vector from each of the `m` processors, all numerically equal.
 pub(crate) fn vectors_all_equal(
     vectors: &[Signed<PaymentVectorBody>],
     m: usize,
     referee: &Referee,
+    cache: &VerifyCache,
+    profile: CryptoProfile,
 ) -> bool {
     use crate::referee::payments_agree;
     let mut per_proc: Vec<Option<&PaymentVectorBody>> = vec![None; m];
     for sv in vectors {
-        let Ok(body) = sv.verify(referee_registry(referee)) else {
+        let Ok(body) = verify_profiled(sv, referee_registry(referee), cache, profile) else {
             return false;
         };
         // `get_mut` rejects out-of-range indices; duplicates also fail.
@@ -2107,13 +2162,15 @@ pub(crate) fn verify_bid_view(
     view: &[Signed<BidBody>],
     m: usize,
     referee: &Referee,
+    cache: &VerifyCache,
+    profile: CryptoProfile,
 ) -> Option<Vec<f64>> {
     if view.len() != m {
         return None;
     }
     let mut bids = vec![f64::NAN; m];
     for sb in view {
-        let body = sb.verify(referee_registry(referee)).ok()?;
+        let body = verify_profiled(sb, referee_registry(referee), cache, profile).ok()?;
         if sb.signer() != format!("P{}", body.processor + 1) {
             return None;
         }

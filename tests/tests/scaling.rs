@@ -374,6 +374,7 @@ fn validate_sessions_json(json: &str) {
             "\"m\": ",
             "\"batch\": ",
             "\"path\": ",
+            "\"verify\": ",
             "\"sessions_timed\": ",
             "\"ns_per_session\": ",
             "\"sessions_per_sec\": ",
@@ -384,6 +385,11 @@ fn validate_sessions_json(json: &str) {
             line.contains("\"path\": \"pooled\"") || line.contains("\"path\": \"threaded\""),
             "unknown path in {line}"
         );
+        assert!(
+            line.contains("\"verify\": \"amortized\"")
+                || line.contains("\"verify\": \"per-receiver\""),
+            "unknown verify profile in {line}"
+        );
     }
     assert!(entries > 0, "no entries found");
     let opens = json.matches('{').count();
@@ -391,14 +397,21 @@ fn validate_sessions_json(json: &str) {
 }
 
 /// Extracts `ns_per_session` from the committed-JSON entry matching
-/// `(m, batch, path)`, if present.
-fn committed_ns_per_session(json: &str, m: usize, batch: usize, path: &str) -> Option<f64> {
+/// `(m, batch, path, verify)`, if present.
+fn committed_ns_per_session(
+    json: &str,
+    m: usize,
+    batch: usize,
+    path: &str,
+    verify: &str,
+) -> Option<f64> {
     for line in json.lines() {
         let line = line.trim();
         if !line.starts_with("{\"model\"")
             || !line.contains(&format!("\"m\": {m},"))
             || !line.contains(&format!("\"batch\": {batch},"))
             || !line.contains(&format!("\"path\": \"{path}\""))
+            || !line.contains(&format!("\"verify\": \"{verify}\""))
         {
             continue;
         }
@@ -412,25 +425,32 @@ fn committed_ns_per_session(json: &str, m: usize, batch: usize, path: &str) -> O
     None
 }
 
-/// A quick sessions sweep must cover every (m, batch, path) cell of its
-/// config, emit a document matching the documented schema, and show the
-/// pooled executor no slower than the threaded runtime at the largest
+/// A quick sessions sweep must cover every (m, batch, path, verify) cell
+/// of its config, emit a document matching the documented schema, and show
+/// the pooled executor no slower than the threaded runtime at the largest
 /// quick cell. The committed `BENCH_sessions.json` (when present) must
-/// match the schema and carry the headline the tentpole exists for: the
-/// pooled executor at least 10× the threaded runtime's sessions/sec at
-/// m = 16, batch = 1024.
+/// match the schema and carry both headlines: the pooled executor at
+/// least 10× the threaded runtime's sessions/sec at m = 16, batch = 1024,
+/// and amortized verification at least 5× the per-receiver `pow_mod`
+/// baseline at m = 64 — the cell where the Θ(m²) broadcast makes
+/// per-receiver verification the dominant cost.
 #[test]
 fn sessions_bench_json_matches_documented_schema() {
     let cfg = sessions::SessionsConfig::quick();
     let entries = sessions::run_sweep(&cfg).expect("quick sweep must succeed");
     for &m in &cfg.m_sizes {
         for &batch in &cfg.batch_sizes {
-            for path in ["pooled", "threaded"] {
+            for (path, verify) in [
+                ("pooled", "amortized"),
+                ("pooled", "per-receiver"),
+                ("threaded", "amortized"),
+            ] {
                 assert!(
-                    entries
-                        .iter()
-                        .any(|e| e.m == m && e.batch == batch && e.path == path),
-                    "missing {path} m={m} batch={batch}"
+                    entries.iter().any(|e| e.m == m
+                        && e.batch == batch
+                        && e.path == path
+                        && e.verify == verify),
+                    "missing {path}/{verify} m={m} batch={batch}"
                 );
             }
         }
@@ -454,15 +474,25 @@ fn sessions_bench_json_matches_documented_schema() {
     match std::fs::read_to_string(committed) {
         Ok(json) => {
             validate_sessions_json(&json);
-            let pooled = committed_ns_per_session(&json, 16, 1024, "pooled")
-                .expect("committed file has the pooled m=16 batch=1024 cell");
-            let threaded = committed_ns_per_session(&json, 16, 1024, "threaded")
-                .expect("committed file has the threaded m=16 batch=1024 cell");
+            let pooled = committed_ns_per_session(&json, 16, 1024, "pooled", "amortized")
+                .expect("committed file has the pooled amortized m=16 batch=1024 cell");
+            let threaded = committed_ns_per_session(&json, 16, 1024, "threaded", "amortized")
+                .expect("committed file has the threaded amortized m=16 batch=1024 cell");
             assert!(
                 pooled > 0.0 && threaded / pooled >= 10.0,
                 "committed BENCH_sessions.json no longer shows the >= 10x pooled speedup \
                  at m=16 batch=1024: {:.1}x",
                 threaded / pooled
+            );
+            let amortized = committed_ns_per_session(&json, 64, 1024, "pooled", "amortized")
+                .expect("committed file has the pooled amortized m=64 batch=1024 cell");
+            let naive = committed_ns_per_session(&json, 64, 1024, "pooled", "per-receiver")
+                .expect("committed file has the pooled per-receiver m=64 batch=1024 cell");
+            assert!(
+                amortized > 0.0 && naive / amortized >= 5.0,
+                "committed BENCH_sessions.json no longer shows the >= 5x amortized \
+                 verification speedup at m=64 batch=1024: {:.1}x",
+                naive / amortized
             );
         }
         Err(_) => eprintln!("BENCH_sessions.json not present; skipping committed-file check"),

@@ -4,11 +4,14 @@
 //! payment-solver sweep behind the committed `BENCH_payments.json`;
 //! [`throughput`] hosts the auction-engine sweep behind the committed
 //! `BENCH_throughput.json`; [`sessions`] hosts the protocol-session sweep
-//! behind the committed `BENCH_sessions.json`.
+//! behind the committed `BENCH_sessions.json`; [`service`] hosts the
+//! always-on service tail-latency sweep behind the committed
+//! `BENCH_service.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod payments;
+pub mod service;
 pub mod sessions;
 pub mod throughput;
 pub mod workloads;

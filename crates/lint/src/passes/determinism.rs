@@ -29,6 +29,7 @@ const WALLCLOCK_SCOPE_FILES: &[&str] = &[
     "crates/protocol/src/executor.rs",
     "crates/protocol/src/sched.rs",
     "crates/protocol/src/runtime.rs",
+    "crates/protocol/src/service.rs",
     "crates/crypto/src/canon.rs",
 ];
 const WALLCLOCK_SCOPE_PREFIXES: &[&str] = &[

@@ -31,6 +31,7 @@ use crate::SourceFile;
 const SCOPE: &[&str] = &[
     "crates/protocol/src/runtime.rs",
     "crates/protocol/src/executor.rs",
+    "crates/protocol/src/service.rs",
 ];
 
 /// `true` when the pass evaluates in `rel`.

@@ -52,8 +52,9 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and \
          slice indexing are forbidden in protocol hot paths \
          (protocol/src/{runtime,referee,ledger,messages,fault,config,\
-         executor,sched}.rs, mechanism/src/{engine,batch}.rs, \
-         bench/src/{throughput,sessions}.rs); a malformed message must \
+         executor,sched,service}.rs, mechanism/src/{engine,batch}.rs, \
+         bench/src/{throughput,sessions,service}.rs); a malformed message \
+         must \
          yield a typed error, not a crashed session (Lemma 5.1)",
     ),
     (
@@ -129,6 +130,10 @@ pub fn float_rule_applies(rel_path: &str) -> bool {
 /// sessions on one thread, so a panic there takes down every session in the
 /// shard, not just the faulty one; the sessions sweep rides along because it
 /// drives both paths from benchmark binaries that must report, not abort.
+/// The always-on service (`service.rs`) is the strongest case of all: its
+/// workers outlive any one session, so a panic kills capacity for every
+/// future submission; its bench harness (`bench/src/service.rs`) rides
+/// along like the sessions sweep.
 pub fn panic_rule_applies(rel_path: &str) -> bool {
     matches!(
         rel_path,
@@ -144,6 +149,8 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
             | "crates/mechanism/src/batch.rs"
             | "crates/bench/src/throughput.rs"
             | "crates/bench/src/sessions.rs"
+            | "crates/protocol/src/service.rs"
+            | "crates/bench/src/service.rs"
     )
 }
 

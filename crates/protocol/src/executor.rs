@@ -162,26 +162,48 @@ fn sign_cached<T: Serialize>(
 /// links 1; garbage frames are recorded but dropped at processor intake),
 /// with channel queues replaced by per-processor `VecDeque`s and bid
 /// broadcasts additionally logged for the shared collection pass.
-struct VmNet {
+///
+/// The queues themselves are borrowed from the worker's [`VmScratch`]
+/// arena, so a long-lived worker allocates its inboxes once and reuses
+/// them for every session it executes; only messages, never containers,
+/// are per-session.
+struct VmNet<'a> {
     m: usize,
     stats: MessageStats,
-    inboxes: Vec<VecDeque<Msg>>,
-    ref_inbox: Vec<(usize, Msg)>,
+    inboxes: &'a mut Vec<VecDeque<Msg>>,
+    ref_inbox: &'a mut Vec<(usize, Msg)>,
     /// Processor bid broadcasts in send order; the engine verifies each
     /// once instead of once per receiver (all receivers of an atomic
     /// broadcast see the same envelope, so the per-receiver results are
     /// identical by construction).
-    bid_log: Vec<(usize, Signed<BidBody>)>,
+    bid_log: &'a mut Vec<(usize, Signed<BidBody>)>,
 }
 
-impl VmNet {
-    fn new(m: usize) -> Self {
+impl<'a> VmNet<'a> {
+    /// Binds the arena buffers to one round of an `m`-party session,
+    /// clearing whatever the previous session left behind. Buffers only
+    /// ever grow to the largest `m` the worker has seen (a few dozen
+    /// `VecDeque` headers), so mixed workloads don't thrash the arena.
+    fn new(
+        m: usize,
+        inboxes: &'a mut Vec<VecDeque<Msg>>,
+        ref_inbox: &'a mut Vec<(usize, Msg)>,
+        bid_log: &'a mut Vec<(usize, Signed<BidBody>)>,
+    ) -> Self {
+        if inboxes.len() < m {
+            inboxes.resize_with(m, VecDeque::new);
+        }
+        for q in inboxes.iter_mut() {
+            q.clear();
+        }
+        ref_inbox.clear();
+        bid_log.clear();
         VmNet {
             m,
             stats: MessageStats::default(),
-            inboxes: (0..m).map(|_| VecDeque::new()).collect(),
-            ref_inbox: Vec::new(),
-            bid_log: Vec::new(),
+            inboxes,
+            ref_inbox,
+            bid_log,
         }
     }
 
@@ -201,7 +223,7 @@ impl VmNet {
             // exactly like `ProcInbox`.
             Msg::Garbage { .. } => {}
             other => {
-                for (j, q) in self.inboxes.iter_mut().enumerate() {
+                for (j, q) in self.inboxes.iter_mut().enumerate().take(self.m) {
                     if j != from {
                         q.push_back(other.clone());
                     }
@@ -213,7 +235,7 @@ impl VmNet {
     /// Referee broadcast to all processors.
     fn broadcast_referee(&mut self, msg: Msg) {
         self.record(&msg, self.m as u64);
-        for q in self.inboxes.iter_mut() {
+        for q in self.inboxes.iter_mut().take(self.m) {
             q.push_back(msg.clone());
         }
     }
@@ -221,8 +243,10 @@ impl VmNet {
     /// Unicast between processors; out-of-range destinations drop.
     fn unicast(&mut self, to: usize, msg: Msg) {
         self.record(&msg, 1);
-        if let Some(q) = self.inboxes.get_mut(to) {
-            q.push_back(msg);
+        if to < self.m {
+            if let Some(q) = self.inboxes.get_mut(to) {
+                q.push_back(msg);
+            }
         }
     }
 
@@ -235,9 +259,11 @@ impl VmNet {
     /// Drains everything the referee has received since the last drain,
     /// in send order (the engine sends in processor-index order, so this
     /// is deterministic where the threaded channel order was not — every
-    /// consumer of this ordering is order-insensitive or sorts).
-    fn drain_referee(&mut self) -> Vec<(usize, Msg)> {
-        std::mem::take(&mut self.ref_inbox)
+    /// consumer of this ordering is order-insensitive or sorts). Draining
+    /// in place keeps the arena buffer's allocation alive for the next
+    /// collection point.
+    fn drain_referee(&mut self) -> std::vec::Drain<'_, (usize, Msg)> {
+        self.ref_inbox.drain(..)
     }
 }
 
@@ -480,10 +506,22 @@ fn advance_referee(
 // The event-driven round
 // ---------------------------------------------------------------------------
 
-/// Per-worker scratch reused across sessions (the event heap allocates
-/// once per worker, not once per barrier).
+/// Per-worker scratch reused across sessions: the event heap, the barrier
+/// arrival list, and the virtual transport's queues all allocate once per
+/// worker instead of once per session (or, for arrivals, once per
+/// barrier — twelve times a round). A long-lived service worker therefore
+/// reaches a steady state where per-session work allocates messages and
+/// outcomes but no container churn.
 pub struct VmScratch {
     queue: EventQueue,
+    /// `(party, delay_ms)` staging for each barrier resolution.
+    arrivals: Vec<(usize, u64)>,
+    /// Per-processor inboxes lent to [`VmNet`] each round.
+    inboxes: Vec<VecDeque<Msg>>,
+    /// Referee inbox lent to [`VmNet`] each round.
+    ref_inbox: Vec<(usize, Msg)>,
+    /// Bid-broadcast log lent to [`VmNet`] each round.
+    bid_log: Vec<(usize, Signed<BidBody>)>,
 }
 
 impl VmScratch {
@@ -491,6 +529,10 @@ impl VmScratch {
     pub fn new() -> Self {
         VmScratch {
             queue: EventQueue::new(),
+            arrivals: Vec::new(),
+            inboxes: Vec::new(),
+            ref_inbox: Vec::new(),
+            bid_log: Vec::new(),
         }
     }
 }
@@ -510,15 +552,18 @@ fn vm_barrier(
     budget_ms: u64,
     clock: &mut VirtualClock,
     queue: &mut EventQueue,
+    arrivals: &mut Vec<(usize, u64)>,
     machines: &mut [ProcMachine],
     watch: &mut VmWatch,
 ) {
-    let arrivals: Vec<(usize, u64)> = machines
-        .iter_mut()
-        .filter(|p| !p.removed)
-        .map(|p| (p.i, p.arrival_delay(budget_ms)))
-        .collect();
-    let out = resolve_barrier(queue, clock.now_ms(), budget_ms, &arrivals);
+    arrivals.clear();
+    arrivals.extend(
+        machines
+            .iter_mut()
+            .filter(|p| !p.removed)
+            .map(|p| (p.i, p.arrival_delay(budget_ms))),
+    );
+    let out = resolve_barrier(queue, clock.now_ms(), budget_ms, arrivals);
     clock.advance_to(out.completed_at_ms);
     for p in machines.iter_mut() {
         if p.removed || out.removed.binary_search(&p.i).is_err() {
@@ -536,7 +581,7 @@ fn vm_barrier(
 /// Referee-side report collection from the virtual transport (mirror of
 /// the threaded `collect_reports`: reports sorted by sender, garbage
 /// senders listed separately).
-fn collect_reports_vm(net: &mut VmNet) -> (Vec<(usize, PhaseReport)>, Vec<usize>) {
+fn collect_reports_vm(net: &mut VmNet<'_>) -> (Vec<(usize, PhaseReport)>, Vec<usize>) {
     let mut out = Vec::new();
     let mut garbage = Vec::new();
     for (from, msg) in net.drain_referee() {
@@ -584,7 +629,7 @@ struct BidCollection {
 }
 
 fn collect_bids(
-    net: &VmNet,
+    net: &VmNet<'_>,
     m: usize,
     registry: &Registry,
     cache: &VerifyCache,
@@ -592,7 +637,7 @@ fn collect_bids(
 ) -> BidCollection {
     let mut slots: Vec<Option<Signed<BidBody>>> = vec![None; m];
     let mut conflicts = Vec::new();
-    for (_, signed) in &net.bid_log {
+    for (_, signed) in net.bid_log.iter() {
         let verified = match profile {
             // One cached verification per logged broadcast; later passes
             // over the same envelope (anywhere in the round) are memo hits.
@@ -672,7 +717,16 @@ pub(crate) fn run_round_vm(
     let key_bits = cfg.key_bits;
     let seed = cfg.seed;
 
-    let mut net = VmNet::new(m);
+    // Split the scratch arena so the transport can hold its buffers for
+    // the whole round while barriers borrow the event queue independently.
+    let VmScratch {
+        queue,
+        arrivals,
+        inboxes,
+        ref_inbox,
+        bid_log,
+    } = scratch;
+    let mut net = VmNet::new(m, inboxes, ref_inbox, bid_log);
     let mut clock = VirtualClock::new();
     let mut watch = VmWatch::new(m);
     let mut ref_state = RefereeState::Bidding;
@@ -708,7 +762,7 @@ pub(crate) fn run_round_vm(
     let sign_err = |e: RunError| e;
     let finish = |machines: Vec<ProcMachine>,
                   rr: RefResult,
-                  net: VmNet,
+                  net: VmNet<'_>,
                   procs: Vec<ProcessorConfig>| RoundOutput {
         procs,
         proc_results: machines.into_iter().map(|p| p.result).collect(),
@@ -774,7 +828,7 @@ pub(crate) fn run_round_vm(
             None => {} // mute: the bid is withheld
         }
     }
-    vm_barrier(Phase::Bidding, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B1
+    vm_barrier(Phase::Bidding, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B1
 
     // Shared bid collection + per-machine reports (pre-B2).
     let collected = collect_bids(&net, m, &registry, &verify_cache, profile);
@@ -807,7 +861,7 @@ pub(crate) fn run_round_vm(
         }
         p.state = ProcessorState::AwaitBidVerdict;
     }
-    vm_barrier(Phase::Bidding, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B2
+    vm_barrier(Phase::Bidding, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B2
 
     // Referee: bidding adjudication (pre-B3).
     let (reports, garbage) = collect_reports_vm(&mut net);
@@ -821,7 +875,7 @@ pub(crate) fn run_round_vm(
     let (verdict, strategic_fines) = merge_defaults(&referee, strategic, &defaulted, true);
     record_verdict(&mut rr, Phase::Bidding, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict.clone()));
-    vm_barrier(Phase::Bidding, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B3
+    vm_barrier(Phase::Bidding, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B3
     if !verdict.proceed {
         advance_referee(&mut ref_state, RefereeState::Bidding, RefereeState::Settled)?;
         rr.aborted = Some(Phase::Bidding);
@@ -902,7 +956,7 @@ pub(crate) fn run_round_vm(
             p.result.blocks_granted = p.my_blocks_len;
         }
     }
-    vm_barrier(Phase::Allocating, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B4
+    vm_barrier(Phase::Allocating, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B4
 
     // Grant verification + allocation reports (pre-B5).
     for p in machines.iter_mut() {
@@ -958,7 +1012,7 @@ pub(crate) fn run_round_vm(
         }
         p.state = ProcessorState::AwaitAllocationVerdict;
     }
-    vm_barrier(Phase::Allocating, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B5
+    vm_barrier(Phase::Allocating, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B5
 
     // Referee: allocation adjudication (pre-B6).
     let (reports, garbage) = collect_reports_vm(&mut net);
@@ -972,7 +1026,7 @@ pub(crate) fn run_round_vm(
     let (verdict, strategic_fines) = merge_defaults(&referee, strategic, &defaulted, true);
     record_verdict(&mut rr, Phase::Allocating, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict.clone()));
-    vm_barrier(Phase::Allocating, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B6
+    vm_barrier(Phase::Allocating, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B6
     if !verdict.proceed {
         advance_referee(&mut ref_state, RefereeState::Allocating, RefereeState::Settled)?;
         rr.aborted = Some(Phase::Allocating);
@@ -1014,7 +1068,7 @@ pub(crate) fn run_round_vm(
         }
         p.state = ProcessorState::AwaitMeters;
     }
-    vm_barrier(Phase::Processing, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B7
+    vm_barrier(Phase::Processing, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B7
 
     // Referee: meter collection + broadcast (pre-B8).
     let mut meter_slots: Vec<Option<f64>> = vec![None; m];
@@ -1038,7 +1092,7 @@ pub(crate) fn run_round_vm(
     let meters: Vec<f64> = meter_slots.iter().map(|s| s.unwrap_or(0.0)).collect();
     rr.meters = Some(meters.clone());
     net.broadcast_referee(Msg::Meters(meters.clone()));
-    vm_barrier(Phase::Processing, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B8
+    vm_barrier(Phase::Processing, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B8
     advance_referee(&mut ref_state, RefereeState::Processing, RefereeState::Payments)?;
 
     // ---- Phase 4: Payments (pre-B9) ---------------------------------------
@@ -1100,7 +1154,7 @@ pub(crate) fn run_round_vm(
         }
         p.state = ProcessorState::AwaitSettlement;
     }
-    vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B9
+    vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B9
 
     // Referee: payment vector collection (pre-B10).
     let mut vectors = Vec::new();
@@ -1140,7 +1194,7 @@ pub(crate) fn run_round_vm(
         rr.final_q = Some(q);
         net.broadcast_referee(Msg::Verdict(Verdict::ok()));
         record_verdict(&mut rr, Phase::Payments, &Verdict::ok());
-        vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B10
+        vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B10
         // No machine finds a BidRequest, so none sends a view.
         for p in machines.iter_mut() {
             if p.state != ProcessorState::AwaitSettlement {
@@ -1150,9 +1204,9 @@ pub(crate) fn run_round_vm(
                 let _ = take_all_msgs(q, |m| matches!(m, Msg::BidRequest).then_some(()));
             }
         }
-        vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B11
+        vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B11
         net.broadcast_referee(Msg::Verdict(Verdict::ok()));
-        vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B12
+        vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B12
         rr.faults = watch.faults;
         for p in machines.iter_mut() {
             if p.state == ProcessorState::AwaitSettlement {
@@ -1166,7 +1220,7 @@ pub(crate) fn run_round_vm(
 
     // Vectors disagree (or one is missing): request the bids (§4).
     net.broadcast_referee(Msg::BidRequest);
-    vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B10
+    vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B10
     for p in machines.iter_mut() {
         if p.state != ProcessorState::AwaitSettlement {
             continue;
@@ -1190,7 +1244,7 @@ pub(crate) fn run_round_vm(
             }
         }
     }
-    vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B11
+    vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B11
 
     // Referee: bid views → recomputed payments → final verdict (pre-B12).
     let mut agreed_bids: Option<Vec<f64>> = None;
@@ -1240,7 +1294,7 @@ pub(crate) fn run_round_vm(
     rr.final_q = Some(correct);
     record_verdict(&mut rr, Phase::Payments, &verdict);
     net.broadcast_referee(Msg::Verdict(verdict));
-    vm_barrier(Phase::Payments, budget_ms, &mut clock, &mut scratch.queue, &mut machines, &mut watch); // B12
+    vm_barrier(Phase::Payments, budget_ms, &mut clock, queue, arrivals, &mut machines, &mut watch); // B12
     rr.faults = watch.faults;
     for p in machines.iter_mut() {
         if p.state == ProcessorState::AwaitSettlement {
@@ -1256,13 +1310,25 @@ pub(crate) fn run_round_vm(
 // Session-level entry points
 // ---------------------------------------------------------------------------
 
+/// The one per-session driver every execution path shares: the static
+/// pooled path, the work-stealing service ([`crate::service`]), and the
+/// single-session entry point all call this, so placement policies cannot
+/// drift from each other — they differ only in *which worker* and *when*
+/// `drive_session` runs, never in what it computes.
+pub(crate) fn drive_session(
+    cfg: &SessionConfig,
+    scratch: &mut VmScratch,
+) -> Result<SessionOutcome, RunError> {
+    run_session_with(cfg, |c, active| run_round_vm(c, active, scratch))
+}
+
 /// Runs one session on the event-driven executor. Same contract and
 /// results as [`crate::runtime::run_session`], in microseconds instead of
 /// thread time; the session-level loop (degraded re-runs, ledger,
 /// timeline) is shared with the threaded path.
 pub fn run_session_vm(cfg: &SessionConfig) -> Result<SessionOutcome, RunError> {
     let mut scratch = VmScratch::new();
-    run_session_with(cfg, move |c, active| run_round_vm(c, active, &mut scratch))
+    drive_session(cfg, &mut scratch)
 }
 
 /// Runs a batch of independent sessions across a fixed worker pool:
@@ -1302,10 +1368,7 @@ pub fn run_session_pooled_with(
                     let mut out: Vec<(usize, Result<SessionOutcome, RunError>)> = Vec::new();
                     for idx in shard(n, workers, w) {
                         if let Some(cfg) = cfgs.get(idx) {
-                            let r = run_session_with(cfg, |c, active| {
-                                run_round_vm(c, active, &mut scratch)
-                            });
-                            out.push((idx, r));
+                            out.push((idx, drive_session(cfg, &mut scratch)));
                         }
                     }
                     out

@@ -17,7 +17,10 @@
 //!
 //! Also here: the fixed-pool *sharding* rule — session `s` belongs to
 //! worker `s mod workers`, no work stealing — so a batch of N sessions is
-//! deterministically partitioned no matter how many workers run.
+//! deterministically partitioned no matter how many workers run. The
+//! work-stealing alternative for continuously arriving sessions lives in
+//! [`crate::service`]; both route through the same per-session driver, so
+//! placement never changes an outcome.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -227,6 +230,81 @@ mod tests {
         q.push(7, EventKind::Arrive(0));
         q.push(7, EventKind::Deadline);
         assert_eq!(q.pop(), Some((7, EventKind::Deadline)));
+    }
+
+    #[test]
+    fn equal_timestamp_arrivals_pop_in_exact_insertion_order() {
+        // All events share one timestamp: the only remaining order is the
+        // insertion sequence, including across interleaved party ids and
+        // after the heap has been partially drained.
+        let mut q = EventQueue::new();
+        for id in [9, 1, 7, 3, 5] {
+            q.push(11, EventKind::Arrive(id));
+        }
+        assert_eq!(q.pop(), Some((11, EventKind::Arrive(9))));
+        assert_eq!(q.pop(), Some((11, EventKind::Arrive(1))));
+        // Pushing more equal-timestamp events mid-drain continues the
+        // global sequence; they sort after everything already queued.
+        q.push(11, EventKind::Arrive(2));
+        assert_eq!(q.pop(), Some((11, EventKind::Arrive(7))));
+        assert_eq!(q.pop(), Some((11, EventKind::Arrive(3))));
+        assert_eq!(q.pop(), Some((11, EventKind::Arrive(5))));
+        assert_eq!(q.pop(), Some((11, EventKind::Arrive(2))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn deadline_outranks_every_tied_arrival_regardless_of_push_order() {
+        // The deadline wins the timestamp tie even when pushed last, after
+        // many arrivals with lower sequence numbers — kind_rank dominates
+        // the insertion sequence.
+        let mut q = EventQueue::new();
+        for id in 0..4 {
+            q.push(30, EventKind::Arrive(id));
+        }
+        q.push(30, EventKind::Deadline);
+        assert_eq!(q.pop(), Some((30, EventKind::Deadline)));
+        // The tied arrivals still drain in insertion order afterwards.
+        for id in 0..4 {
+            assert_eq!(q.pop(), Some((30, EventKind::Arrive(id))));
+        }
+    }
+
+    #[test]
+    fn clear_resets_pending_events_but_ordering_survives_reuse() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Arrive(0));
+        q.push(1, EventKind::Deadline);
+        q.clear();
+        assert_eq!(q.pop(), None);
+        // Reused queue (one heap per worker, per-barrier clears): ordering
+        // rules are unchanged after a clear.
+        q.push(8, EventKind::Arrive(1));
+        q.push(8, EventKind::Deadline);
+        assert_eq!(q.pop(), Some((8, EventKind::Deadline)));
+        assert_eq!(q.pop(), Some((8, EventKind::Arrive(1))));
+    }
+
+    #[test]
+    fn barrier_ties_remove_every_at_deadline_arrival() {
+        // Three parties arrive exactly at the deadline, one before it; the
+        // deadline event outranks all three ties, so all three are removed
+        // and reported in ascending id order (ids pushed out of order).
+        let mut q = EventQueue::new();
+        let out = resolve_barrier(&mut q, 10, 40, &[(3, 40), (0, 5), (2, 40), (1, 40)]);
+        assert_eq!(out.removed, vec![1, 2, 3]);
+        assert_eq!(out.completed_at_ms, 50);
+    }
+
+    #[test]
+    fn barrier_survivor_tie_with_other_survivors_keeps_latest_arrival_time() {
+        // Two survivors tie just *below* the deadline: both survive, and
+        // the barrier completes at their (shared) arrival time, not at the
+        // deadline.
+        let mut q = EventQueue::new();
+        let out = resolve_barrier(&mut q, 0, 50, &[(0, 49), (1, 49)]);
+        assert!(out.removed.is_empty());
+        assert_eq!(out.completed_at_ms, 49);
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! Service tail-latency benchmark harness:
 //! `cargo run --release --bin service`.
 //!
-//! Writes `BENCH_service.json` (schema `dls-bench-service-v1`) in the
+//! Writes `BENCH_service.json` (schema `dls-bench-service-v2`) in the
 //! current directory and prints the headline work-stealing-vs-static p99
-//! improvement and the service-vs-pooled uniform throughput ratio.
+//! improvement, the service-vs-pooled uniform throughput ratio, and the
+//! kill-churn recovery numbers (p99 inflation under periodic worker
+//! kills, worst death→respawn latency, tickets lost — always zero).
 //! Flags:
 //!
 //! * `--quick` — the seconds-scale subset used by the schema test
 //! * `--out <path>` — write the JSON somewhere else
 
 use dls_bench::service::{
-    p99_improvement, render_json, run_sweep, uniform_throughput_ratio, ServiceBenchConfig,
+    churn_p99_ratio, p99_improvement, render_json, run_sweep, uniform_throughput_ratio,
+    worst_recovery_ns, ServiceBenchConfig,
 };
 
 fn main() {
@@ -55,6 +58,19 @@ fn main() {
     if let Some(r) = uniform_throughput_ratio(&entries) {
         println!(
             "uniform closed control: service throughput is {r:.2}x the static pooled baseline"
+        );
+    }
+    if let Some(r) = churn_p99_ratio(&entries) {
+        let lost: u64 = entries.iter().map(|e| e.lost).sum();
+        println!(
+            "kill-churn: p99 is {r:.2}x the fault-free cell under periodic worker kills \
+             ({lost} tickets lost)"
+        );
+    }
+    if let Some(ns) = worst_recovery_ns(&entries) {
+        println!(
+            "kill-churn: worst worker death->respawn recovery latency {:.1} ms",
+            ns as f64 / 1e6
         );
     }
 }

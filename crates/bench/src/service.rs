@@ -51,6 +51,16 @@
 //!   `/proc/self/statm`; zero where unavailable), a coarse memory-wall
 //!   indicator across the batch sweep.
 //!
+//! **Kill-churn cells (schema v2).** When `kill_every > 0`, the skewed
+//! closed cell is re-run on both service paths under a deterministic
+//! [`ServiceFaultPlan`] that kills the active worker at every
+//! `kill_every`-th job start. The supervisor respawns each one and
+//! requeues the orphaned session, so the stream still completes with
+//! zero lost tickets (`lost` is computed from the retire loop, which
+//! fails the whole sweep if any ticket vanishes); the cell discloses the
+//! price: `kills`, `respawns`, worst death→respawn `recovery_max_ns`,
+//! and the usual latency percentiles now including re-run sessions.
+//!
 //! Covered by the workspace no-panic lint gate: measurement never
 //! unwraps — session errors surface as the harness error string.
 
@@ -61,13 +71,14 @@ use dls_protocol::config::{Behavior, ProcessorConfig, SessionConfig};
 use dls_protocol::executor::run_session_pooled_with;
 use dls_protocol::referee::Phase;
 use dls_protocol::service::{Placement, ServiceConfig, ServiceHandle};
+use dls_protocol::supervisor::{ServiceFaultPlan, ServiceStats};
 use dls_protocol::FaultPlan;
 
 use crate::workloads::quantized_rates;
 
 /// Schema identifier written into the JSON header; bump when the layout of
 /// the file changes incompatibly.
-pub const SCHEMA: &str = "dls-bench-service-v1";
+pub const SCHEMA: &str = "dls-bench-service-v2";
 
 /// Everything that determines a service sweep; the workload stream is
 /// reproducible from the config alone (wall-clock numbers aside).
@@ -119,6 +130,10 @@ pub struct ServiceBenchConfig {
     /// batch of configs and outcomes at once, so it does not sweep to the
     /// service's largest cells).
     pub pooled_batch_cap: usize,
+    /// Kill-churn period for the faulted cells: the active worker is
+    /// killed at every `kill_every`-th job start of the skewed closed
+    /// stream (0 disables the faulted cells).
+    pub kill_every: usize,
 }
 
 impl ServiceBenchConfig {
@@ -144,6 +159,7 @@ impl ServiceBenchConfig {
             paced_utilization: 0.8,
             calibration_sessions: 2_000,
             pooled_batch_cap: 100_000,
+            kill_every: 2_000,
         }
     }
 
@@ -160,6 +176,7 @@ impl ServiceBenchConfig {
             paced_batch: 200,
             calibration_sessions: 60,
             pooled_batch_cap: 240,
+            kill_every: 25,
             ..ServiceBenchConfig::full()
         }
     }
@@ -196,6 +213,19 @@ pub struct ServiceEntry {
     pub max_ns: u64,
     /// Process resident set after the cell, MiB (zero if unreadable).
     pub rss_mb: u64,
+    /// Kill-churn period driving this cell (0 on fault-free cells).
+    pub kill_every: usize,
+    /// Worker kills taken during the cell.
+    pub kills: u64,
+    /// Workers respawned by the supervisor during the cell.
+    pub respawns: u64,
+    /// Worst worker death→respawn latency observed, ns.
+    pub recovery_max_ns: u64,
+    /// Accepted tickets that failed to resolve. The retire loop fails
+    /// the whole sweep on the first lost ticket, so a written entry
+    /// always reads 0 — the column exists so the committed file states
+    /// the invariant explicitly.
+    pub lost: u64,
 }
 
 /// `true` when session `k` of `mix` is a heavy session.
@@ -300,7 +330,23 @@ impl Digest {
             p99_ns: percentile_ns(&lat, 0.99),
             max_ns: lat.last().copied().unwrap_or(0),
             rss_mb: rss_mb(),
+            kill_every: 0,
+            kills: 0,
+            respawns: 0,
+            recovery_max_ns: 0,
+            lost: 0,
         }
+    }
+}
+
+impl ServiceEntry {
+    /// Fills the kill-churn disclosure columns from the service's stats.
+    fn churn(mut self, kill_every: usize, stats: &ServiceStats) -> ServiceEntry {
+        self.kill_every = kill_every;
+        self.kills = stats.killed;
+        self.respawns = stats.respawns;
+        self.recovery_max_ns = stats.recovery_ns_max;
+        self
     }
 }
 
@@ -319,23 +365,31 @@ fn retire(svc: &ServiceHandle, ticket: u64, latencies: &mut Vec<u64>) -> Result<
 }
 
 /// Closed-loop windowed stream: at most `window` sessions in flight.
+/// Returns the latency digest plus the service's lifetime stats (the
+/// kill-churn disclosure columns for faulted cells).
 fn run_closed(
     cfg: &ServiceBenchConfig,
     mix: &'static str,
     placement: Placement,
     reuse_scratch: bool,
     batch: usize,
-) -> Result<Digest, String> {
+    plan: ServiceFaultPlan,
+) -> Result<(Digest, ServiceStats), String> {
     let svc = ServiceHandle::start(ServiceConfig {
         workers: cfg.workers,
         placement,
         reuse_scratch,
-    });
+        fault_plan: plan,
+        ..ServiceConfig::stealing(cfg.workers)
+    })
+    .map_err(|e| format!("service failed to start: {e}"))?;
     let window = cfg.window.max(1);
     let mut latencies = Vec::with_capacity(batch);
     let t0 = Instant::now();
     for k in 0..batch {
-        let ticket = svc.submit(stream_session(cfg, mix, k)?);
+        let ticket = svc
+            .submit(stream_session(cfg, mix, k)?)
+            .map_err(|e| format!("closed-mode submit {k} refused: {e}"))?;
         if ticket >= window as u64 {
             retire(&svc, ticket - window as u64, &mut latencies)?;
         }
@@ -345,11 +399,15 @@ fn run_closed(
         retire(&svc, ticket, &mut latencies)?;
     }
     let elapsed_ns = t0.elapsed().as_nanos();
+    let stats = svc.stats();
     svc.shutdown();
-    Ok(Digest {
-        elapsed_ns,
-        latencies,
-    })
+    Ok((
+        Digest {
+            elapsed_ns,
+            latencies,
+        },
+        stats,
+    ))
 }
 
 /// Open-loop paced stream: arrival `k` fires at `k / rate` regardless of
@@ -365,10 +423,10 @@ fn run_paced(
         return Err("paced mode needs a positive arrival rate".into());
     }
     let svc = ServiceHandle::start(ServiceConfig {
-        workers: cfg.workers,
         placement,
-        reuse_scratch: true,
-    });
+        ..ServiceConfig::stealing(cfg.workers)
+    })
+    .map_err(|e| format!("service failed to start: {e}"))?;
     // Build the stream up front so construction cost never perturbs the
     // arrival schedule.
     let stream: Vec<SessionConfig> = (0..batch)
@@ -383,7 +441,8 @@ fn run_paced(
         if due > now {
             std::thread::sleep(due - now);
         }
-        svc.submit(session);
+        svc.submit(session)
+            .map_err(|e| format!("paced submit {k} refused: {e}"))?;
     }
     for ticket in 0..batch as u64 {
         retire(&svc, ticket, &mut latencies)?;
@@ -401,7 +460,14 @@ fn run_paced(
 /// receive the *same* schedule, so the comparison is apples to apples.
 fn calibrate_capacity(cfg: &ServiceBenchConfig, mix: &'static str) -> Result<f64, String> {
     let n = cfg.calibration_sessions.max(cfg.heavy_period).max(1);
-    let d = run_closed(cfg, mix, Placement::Stealing, true, n)?;
+    let (d, _) = run_closed(
+        cfg,
+        mix,
+        Placement::Stealing,
+        true,
+        n,
+        ServiceFaultPlan::default(),
+    )?;
     if d.elapsed_ns == 0 {
         return Err("calibration stream finished in zero time".into());
     }
@@ -432,8 +498,8 @@ pub fn run_sweep(cfg: &ServiceBenchConfig) -> Result<Vec<ServiceEntry>, String> 
     warm_caches(cfg)?;
     let report = |e: &ServiceEntry| {
         eprintln!(
-            "{:7} {:6} {:14} {:6} batch={:7} {:>9} sess/s  p50={:>12} p95={:>12} p99={:>12} ns  rss={}MiB",
-            e.mix, e.mode, e.path, e.scratch, e.batch, e.sessions_per_sec, e.p50_ns, e.p95_ns, e.p99_ns, e.rss_mb
+            "{:7} {:6} {:14} {:6} batch={:7} {:>9} sess/s  p50={:>12} p95={:>12} p99={:>12} ns  rss={}MiB  kills={} respawns={} rec_max={}ns",
+            e.mix, e.mode, e.path, e.scratch, e.batch, e.sessions_per_sec, e.p50_ns, e.p95_ns, e.p99_ns, e.rss_mb, e.kills, e.respawns, e.recovery_max_ns
         );
     };
 
@@ -450,7 +516,7 @@ pub fn run_sweep(cfg: &ServiceBenchConfig) -> Result<Vec<ServiceEntry>, String> 
                 ("service-steal", Placement::Stealing),
                 ("service-static", Placement::StaticShard),
             ] {
-                let d = run_closed(cfg, mix, placement, true, batch)?;
+                let (d, _) = run_closed(cfg, mix, placement, true, batch, ServiceFaultPlan::default())?;
                 let e = d.entry(mix, "closed", path, "reused", batch, cfg.workers, 0);
                 report(&e);
                 entries.push(e);
@@ -460,10 +526,35 @@ pub fn run_sweep(cfg: &ServiceBenchConfig) -> Result<Vec<ServiceEntry>, String> 
 
     // --- Scratch-arena disclosure: same cell, fresh arena per session -----
     if let Some(&batch) = cfg.closed_batches.iter().min().filter(|&&b| b > 0) {
-        let d = run_closed(cfg, "uniform", Placement::Stealing, false, batch)?;
+        let (d, _) = run_closed(
+            cfg,
+            "uniform",
+            Placement::Stealing,
+            false,
+            batch,
+            ServiceFaultPlan::default(),
+        )?;
         let e = d.entry("uniform", "closed", "service-steal", "fresh", batch, cfg.workers, 0);
         report(&e);
         entries.push(e);
+    }
+
+    // --- Kill-churn disclosure: the skewed closed cell under worker kills -
+    if cfg.kill_every > 0 {
+        if let Some(&batch) = cfg.skewed_closed_batches.iter().min().filter(|&&b| b > 0) {
+            for (path, placement) in [
+                ("service-steal", Placement::Stealing),
+                ("service-static", Placement::StaticShard),
+            ] {
+                let plan = ServiceFaultPlan::kill_every(cfg.kill_every as u64, batch as u64);
+                let (d, stats) = run_closed(cfg, "skewed", placement, true, batch, plan)?;
+                let e = d
+                    .entry("skewed", "closed", path, "reused", batch, cfg.workers, 0)
+                    .churn(cfg.kill_every, &stats);
+                report(&e);
+                entries.push(e);
+            }
+        }
     }
 
     // --- Pooled baseline (closed batch, no queue/latency machinery) -------
@@ -495,6 +586,11 @@ pub fn run_sweep(cfg: &ServiceBenchConfig) -> Result<Vec<ServiceEntry>, String> 
             p99_ns: 0,
             max_ns: 0,
             rss_mb: rss_mb(),
+            kill_every: 0,
+            kills: 0,
+            respawns: 0,
+            recovery_max_ns: 0,
+            lost: 0,
         };
         report(&e);
         entries.push(e);
@@ -547,6 +643,36 @@ pub fn p99_improvement(entries: &[ServiceEntry]) -> Option<f64> {
     Some(stat as f64 / steal as f64)
 }
 
+/// p99 ratio kill-churn/fault-free on the skewed closed stealing cell at
+/// the same batch — how much tail latency worker kill-churn costs once
+/// the supervisor has respawned and requeued around every kill. `None`
+/// when either cell is missing or degenerate.
+pub fn churn_p99_ratio(entries: &[ServiceEntry]) -> Option<f64> {
+    let churn = entries.iter().find(|e| {
+        e.mix == "skewed" && e.mode == "closed" && e.path == "service-steal" && e.kill_every > 0
+    })?;
+    let base = entries.iter().find(|e| {
+        e.mix == "skewed"
+            && e.mode == "closed"
+            && e.path == "service-steal"
+            && e.kill_every == 0
+            && e.batch == churn.batch
+    })?;
+    if base.p99_ns == 0 {
+        return None;
+    }
+    Some(churn.p99_ns as f64 / base.p99_ns as f64)
+}
+
+/// Worst worker death→respawn latency across the kill-churn cells, ns.
+pub fn worst_recovery_ns(entries: &[ServiceEntry]) -> Option<u64> {
+    entries
+        .iter()
+        .filter(|e| e.kill_every > 0)
+        .map(|e| e.recovery_max_ns)
+        .max()
+}
+
 /// Sessions/sec ratio service-steal / pooled-static on the uniform closed
 /// control at the pooled baseline's batch; `None` when either entry is
 /// missing or degenerate.
@@ -576,7 +702,7 @@ pub fn render_json(cfg: &ServiceBenchConfig, entries: &[ServiceEntry]) -> String
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!(
-        "  \"config\": {{\"seed\": {}, \"z\": {:?}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"light_m\": {}, \"heavy_m\": {}, \"light_blocks\": {}, \"heavy_blocks\": {}, \"heavy_period\": {}, \"key_bits\": {}, \"workers\": {}, \"window\": {}, \"paced_utilization\": {:?}, \"pooled_batch_cap\": {}}},\n",
+        "  \"config\": {{\"seed\": {}, \"z\": {:?}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"light_m\": {}, \"heavy_m\": {}, \"light_blocks\": {}, \"heavy_blocks\": {}, \"heavy_period\": {}, \"key_bits\": {}, \"workers\": {}, \"window\": {}, \"paced_utilization\": {:?}, \"pooled_batch_cap\": {}, \"kill_every\": {}}},\n",
         cfg.seed,
         cfg.z,
         cfg.lo,
@@ -591,13 +717,14 @@ pub fn render_json(cfg: &ServiceBenchConfig, entries: &[ServiceEntry]) -> String
         cfg.workers,
         cfg.window,
         cfg.paced_utilization,
-        cfg.pooled_batch_cap
+        cfg.pooled_batch_cap,
+        cfg.kill_every
     ));
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         s.push_str(&format!(
-            "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"path\": \"{}\", \"scratch\": \"{}\", \"batch\": {}, \"workers\": {}, \"arrival_per_sec\": {}, \"sessions_per_sec\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"rss_mb\": {}}}{sep}\n",
+            "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"path\": \"{}\", \"scratch\": \"{}\", \"batch\": {}, \"workers\": {}, \"arrival_per_sec\": {}, \"sessions_per_sec\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"rss_mb\": {}, \"kill_every\": {}, \"kills\": {}, \"respawns\": {}, \"recovery_max_ns\": {}, \"lost\": {}}}{sep}\n",
             e.mix,
             e.mode,
             e.path,
@@ -610,7 +737,12 @@ pub fn render_json(cfg: &ServiceBenchConfig, entries: &[ServiceEntry]) -> String
             e.p95_ns,
             e.p99_ns,
             e.max_ns,
-            e.rss_mb
+            e.rss_mb,
+            e.kill_every,
+            e.kills,
+            e.respawns,
+            e.recovery_max_ns,
+            e.lost
         ));
     }
     s.push_str("  ]\n}\n");
@@ -685,12 +817,21 @@ mod tests {
             p99_ns: 1_500_000,
             max_ns: 9_000_000,
             rss_mb: 120,
+            kill_every: 25,
+            kills: 3,
+            respawns: 3,
+            recovery_max_ns: 7_000_000,
+            lost: 0,
         }];
         let json = render_json(&cfg, &entries);
-        assert!(json.contains("\"schema\": \"dls-bench-service-v1\""));
+        assert!(json.contains("\"schema\": \"dls-bench-service-v2\""));
         assert!(json.contains("\"path\": \"service-steal\""));
         assert!(json.contains("\"p99_ns\": 1500000"));
         assert!(json.contains("\"scratch\": \"reused\""));
+        assert!(json.contains("\"kill_every\": 25"));
+        assert!(json.contains("\"respawns\": 3"));
+        assert!(json.contains("\"recovery_max_ns\": 7000000"));
+        assert!(json.contains("\"lost\": 0"));
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());
         assert_eq!(opens, 3, "root + config + one entry");
@@ -717,6 +858,11 @@ mod tests {
             p99_ns,
             max_ns: p99_ns,
             rss_mb: 0,
+            kill_every: 0,
+            kills: 0,
+            respawns: 0,
+            recovery_max_ns: 0,
+            lost: 0,
         };
         let entries = vec![
             mk("skewed", "paced", "service-steal", 100, 50, 1_000),
@@ -728,5 +874,35 @@ mod tests {
         assert_eq!(uniform_throughput_ratio(&entries), Some(0.95));
         assert_eq!(p99_improvement(&entries[2..]), None);
         assert_eq!(uniform_throughput_ratio(&entries[..2]), None);
+    }
+
+    #[test]
+    fn churn_helpers_pair_cells_by_batch() {
+        let mk = |kill_every: usize, p99_ns: u64, recovery_max_ns: u64| ServiceEntry {
+            mix: "skewed",
+            mode: "closed",
+            path: "service-steal",
+            scratch: "reused",
+            batch: 200,
+            workers: 5,
+            arrival_per_sec: 0,
+            sessions_per_sec: 100,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns,
+            max_ns: p99_ns,
+            rss_mb: 0,
+            kill_every,
+            kills: if kill_every > 0 { 7 } else { 0 },
+            respawns: if kill_every > 0 { 7 } else { 0 },
+            recovery_max_ns,
+            lost: 0,
+        };
+        let entries = vec![mk(0, 2_000, 0), mk(25, 5_000, 9_000_000)];
+        assert_eq!(churn_p99_ratio(&entries), Some(2.5));
+        assert_eq!(worst_recovery_ns(&entries), Some(9_000_000));
+        // No fault-free cell at the same batch -> no ratio.
+        assert_eq!(churn_p99_ratio(&entries[1..]), None);
+        assert_eq!(worst_recovery_ns(&entries[..1]), None);
     }
 }

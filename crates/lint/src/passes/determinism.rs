@@ -30,6 +30,7 @@ const WALLCLOCK_SCOPE_FILES: &[&str] = &[
     "crates/protocol/src/sched.rs",
     "crates/protocol/src/runtime.rs",
     "crates/protocol/src/service.rs",
+    "crates/protocol/src/supervisor.rs",
     "crates/crypto/src/canon.rs",
 ];
 const WALLCLOCK_SCOPE_PREFIXES: &[&str] = &[

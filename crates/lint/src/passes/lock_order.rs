@@ -32,6 +32,7 @@ const SCOPE: &[&str] = &[
     "crates/protocol/src/runtime.rs",
     "crates/protocol/src/executor.rs",
     "crates/protocol/src/service.rs",
+    "crates/protocol/src/supervisor.rs",
 ];
 
 /// `true` when the pass evaluates in `rel`.

@@ -150,6 +150,7 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
             | "crates/bench/src/throughput.rs"
             | "crates/bench/src/sessions.rs"
             | "crates/protocol/src/service.rs"
+            | "crates/protocol/src/supervisor.rs"
             | "crates/bench/src/service.rs"
     )
 }

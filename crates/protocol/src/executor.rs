@@ -1322,6 +1322,19 @@ pub(crate) fn drive_session(
     run_session_with(cfg, |c, active| run_round_vm(c, active, scratch))
 }
 
+/// [`drive_session`] behind a panic barrier: a panic anywhere in the
+/// session drivers is contained to `None` so callers that own long-lived
+/// threads (the service worker loop, its supervisor) can translate it
+/// into a typed, retryable failure instead of unwinding the thread. The
+/// scratch arena is rebuilt by the caller after a `None` — a panicked
+/// driver may have left it mid-session.
+pub(crate) fn drive_session_caught(
+    cfg: &SessionConfig,
+    scratch: &mut VmScratch,
+) -> Option<Result<SessionOutcome, RunError>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drive_session(cfg, scratch))).ok()
+}
+
 /// Runs one session on the event-driven executor. Same contract and
 /// results as [`crate::runtime::run_session`], in microseconds instead of
 /// thread time; the session-level loop (degraded re-runs, ledger,

@@ -77,10 +77,15 @@ pub mod referee;
 pub mod runtime;
 pub mod sched;
 pub mod service;
+pub mod supervisor;
 
 pub use config::{Behavior, ProcessorConfig, SessionConfig};
 pub use executor::{run_session_pooled, run_session_pooled_with, run_session_vm, ProcessorState};
-pub use service::{Completed, Placement, ServiceConfig, ServiceHandle};
+pub use service::{
+    AdmissionPolicy, Completed, Placement, ServiceConfig, ServiceError, ServiceHandle, StartError,
+    SubmitError,
+};
+pub use supervisor::{ServiceFault, ServiceFaultPlan, ServiceStats};
 pub use fault::{DegradationReport, FaultKind, FaultPlan, LivenessFault};
 pub use runtime::{
     run_session, ActorRole, ProtocolViolation, RunError, SessionOutcome, SessionStatus,

@@ -511,6 +511,7 @@ fn validate_service_json(json: &str) {
     assert!(json.contains("\"config\":"), "config object missing");
     let mut entries = 0;
     let mut paced = 0;
+    let mut churn = 0;
     for line in json.lines() {
         let line = line.trim();
         if !line.starts_with("{\"mix\"") {
@@ -531,8 +532,23 @@ fn validate_service_json(json: &str) {
             "\"p99_ns\": ",
             "\"max_ns\": ",
             "\"rss_mb\": ",
+            "\"kill_every\": ",
+            "\"kills\": ",
+            "\"respawns\": ",
+            "\"recovery_max_ns\": ",
+            "\"lost\": ",
         ] {
             assert!(line.contains(key), "entry missing {key}: {line}");
+        }
+        // The no-lost-ticket invariant is part of the schema: a document
+        // with a nonzero `lost` column must never be committed (the
+        // sweep itself errors out before writing one).
+        assert!(
+            line.contains("\"lost\": 0}") || line.contains("\"lost\": 0,"),
+            "entry discloses lost tickets: {line}"
+        );
+        if !line.contains("\"kill_every\": 0,") {
+            churn += 1;
         }
         assert!(
             line.contains("\"mix\": \"uniform\"") || line.contains("\"mix\": \"skewed\""),
@@ -558,18 +574,25 @@ fn validate_service_json(json: &str) {
     }
     assert!(entries > 0, "no entries found");
     assert!(paced >= 2, "paced cells missing (both service paths expected)");
+    assert!(
+        churn >= 2,
+        "kill-churn cells missing (both service paths expected)"
+    );
     let opens = json.matches('{').count();
     assert_eq!(opens, json.matches('}').count(), "unbalanced braces");
 }
 
 /// Extracts a numeric field from the committed service-JSON entry matching
-/// `(mix, mode, path, scratch)`, if present.
+/// `(mix, mode, path, scratch)`, if present. `churn` selects between the
+/// kill-churn re-run of a cell (`kill_every > 0`) and its fault-free
+/// sibling, which share all four identifying columns.
 fn committed_service_field(
     json: &str,
     mix: &str,
     mode: &str,
     path: &str,
     scratch: &str,
+    churn: bool,
     field: &str,
 ) -> Option<f64> {
     for line in json.lines() {
@@ -579,6 +602,7 @@ fn committed_service_field(
             || !line.contains(&format!("\"mode\": \"{mode}\""))
             || !line.contains(&format!("\"path\": \"{path}\""))
             || !line.contains(&format!("\"scratch\": \"{scratch}\""))
+            || line.contains("\"kill_every\": 0,") == churn
         {
             continue;
         }
@@ -600,7 +624,10 @@ fn committed_service_field(
 /// half of static sharding's at equal worker count; and on the uniform
 /// closed control, the service's sessions/sec no worse than the pooled
 /// batch baseline (0.95 floor: the same per-session driver plus ticket
-/// machinery, measured on a shared box).
+/// machinery, measured on a shared box). Schema v2 adds the kill-churn
+/// acceptance: churn cells present on both service paths, zero lost
+/// tickets anywhere, supervisor respawns covering every kill, and the
+/// committed churn p99 within 5x of the fault-free sibling cell.
 #[test]
 fn service_bench_json_matches_documented_schema() {
     let cfg = service::ServiceBenchConfig::quick();
@@ -625,6 +652,32 @@ fn service_bench_json_matches_documented_schema() {
         entries.iter().any(|e| e.scratch == "fresh"),
         "scratch-arena disclosure cell missing"
     );
+    // Kill-churn cells: present on both service paths, with the plan
+    // actually firing, the supervisor actually healing, and — the whole
+    // point — zero lost tickets anywhere in the sweep.
+    for path in ["service-steal", "service-static"] {
+        let churn = entries
+            .iter()
+            .find(|e| e.kill_every > 0 && e.path == path)
+            .unwrap_or_else(|| panic!("kill-churn cell missing for {path}"));
+        assert!(churn.kills >= 1, "{path}: churn plan never killed a worker");
+        assert!(
+            churn.respawns >= churn.kills,
+            "{path}: {} kills but only {} respawns — the supervisor left slots dead",
+            churn.kills,
+            churn.respawns
+        );
+        assert!(
+            churn.recovery_max_ns > 0,
+            "{path}: kills recorded but no recovery latency measured"
+        );
+    }
+    assert!(
+        entries.iter().all(|e| e.lost == 0),
+        "sweep lost accepted tickets"
+    );
+    service::churn_p99_ratio(&entries)
+        .expect("churn and fault-free skewed closed stealing cells must pair by batch");
     // Latency capture must produce ordered, non-degenerate percentiles on
     // the paced cells.
     for e in entries
@@ -657,12 +710,14 @@ fn service_bench_json_matches_documented_schema() {
     match std::fs::read_to_string(committed) {
         Ok(json) => {
             validate_service_json(&json);
-            let steal_p99 =
-                committed_service_field(&json, "skewed", "paced", "service-steal", "reused", "p99_ns")
-                    .expect("committed file has the paced stealing cell");
-            let static_p99 =
-                committed_service_field(&json, "skewed", "paced", "service-static", "reused", "p99_ns")
-                    .expect("committed file has the paced static cell");
+            let steal_p99 = committed_service_field(
+                &json, "skewed", "paced", "service-steal", "reused", false, "p99_ns",
+            )
+            .expect("committed file has the paced stealing cell");
+            let static_p99 = committed_service_field(
+                &json, "skewed", "paced", "service-static", "reused", false, "p99_ns",
+            )
+            .expect("committed file has the paced static cell");
             assert!(
                 steal_p99 > 0.0 && static_p99 / steal_p99 >= 2.0,
                 "committed BENCH_service.json no longer shows the >= 2x p99 improvement \
@@ -670,11 +725,11 @@ fn service_bench_json_matches_documented_schema() {
                 static_p99 / steal_p99
             );
             let svc_rate = committed_service_field(
-                &json, "uniform", "closed", "service-steal", "reused", "sessions_per_sec",
+                &json, "uniform", "closed", "service-steal", "reused", false, "sessions_per_sec",
             )
             .expect("committed file has the uniform closed stealing cell");
             let pooled_rate = committed_service_field(
-                &json, "uniform", "closed", "pooled-static", "reused", "sessions_per_sec",
+                &json, "uniform", "closed", "pooled-static", "reused", false, "sessions_per_sec",
             )
             .expect("committed file has the uniform closed pooled baseline");
             assert!(
@@ -683,6 +738,35 @@ fn service_bench_json_matches_documented_schema() {
                  batch baseline on the uniform control: {:.2}x",
                 svc_rate / pooled_rate
             );
+            // Kill-churn acceptance: the faulted stealing cell's p99 stays
+            // within 5x of its fault-free sibling at the same batch (the
+            // supervisor requeues around kills instead of head-of-line
+            // blocking the stream), and the worst death->respawn recovery
+            // stays sub-second on a loaded box.
+            let churn_p99 = committed_service_field(
+                &json, "skewed", "closed", "service-steal", "reused", true, "p99_ns",
+            )
+            .expect("committed file has the kill-churn stealing cell");
+            let base_p99 = committed_service_field(
+                &json, "skewed", "closed", "service-steal", "reused", false, "p99_ns",
+            )
+            .expect("committed file has the fault-free skewed closed stealing cell");
+            assert!(
+                base_p99 > 0.0 && churn_p99 / base_p99 <= 5.0,
+                "committed BENCH_service.json shows kill-churn inflating skewed closed \
+                 p99 beyond the 5x acceptance bound: {:.2}x",
+                churn_p99 / base_p99
+            );
+            for path in ["service-steal", "service-static"] {
+                let recovery = committed_service_field(
+                    &json, "skewed", "closed", path, "reused", true, "recovery_max_ns",
+                )
+                .unwrap_or_else(|| panic!("committed file has the {path} kill-churn cell"));
+                assert!(
+                    recovery > 0.0 && recovery <= 1e9,
+                    "{path}: worst death->respawn recovery latency out of bounds: {recovery}ns"
+                );
+            }
         }
         Err(_) => eprintln!("BENCH_service.json not present; skipping committed-file check"),
     }

@@ -82,7 +82,9 @@ fn assert_outcomes_identical(oracle: &SessionOutcome, candidate: &SessionOutcome
 /// bit-identical to a direct `run_session_vm` solve.
 fn assert_service_matches_vm(svc: &ServiceHandle, cfg: &SessionConfig, what: &str) {
     let oracle = run_session_vm(cfg).unwrap_or_else(|e| panic!("{what}: vm failed: {e}"));
-    let ticket = svc.submit(cfg.clone());
+    let ticket = svc
+        .submit(cfg.clone())
+        .unwrap_or_else(|e| panic!("{what}: submit refused: {e}"));
     let done = svc
         .wait(ticket)
         .unwrap_or_else(|| panic!("{what}: service lost ticket {ticket}"));
@@ -129,7 +131,7 @@ fn strategic_behaviors_bit_identical_through_the_service() {
     ];
     // One stealing service, kept alive across the whole matrix — the
     // steady state an always-on deployment runs in.
-    let svc = ServiceHandle::start(ServiceConfig::stealing(3));
+    let svc = ServiceHandle::start(ServiceConfig::stealing(3)).expect("service start");
     for (name, deviant, behavior) in scenarios {
         let cfg = session(
             model,
@@ -159,12 +161,14 @@ fn fault_plans_bit_identical_through_the_service() {
     // Static-shard placement and a fresh-arena config both take the same
     // per-session driver; alternate them across the fault matrix so both
     // service configurations face degraded re-runs.
-    let stat = ServiceHandle::start(ServiceConfig::static_shard(2));
+    let stat = ServiceHandle::start(ServiceConfig::static_shard(2)).expect("service start");
     let fresh = ServiceHandle::start(ServiceConfig {
         workers: 2,
         placement: Placement::Stealing,
         reuse_scratch: false,
-    });
+        ..ServiceConfig::stealing(2)
+    })
+    .expect("service start");
     for (i, (name, plan)) in plans.into_iter().enumerate() {
         let cfg = session(
             model,
@@ -222,8 +226,11 @@ fn uneven_stream_pooled_static_matches_service_stealing() {
     let pooled = run_session_pooled_with(&cfgs, 3);
     assert_eq!(pooled.len(), cfgs.len());
 
-    let svc = ServiceHandle::start(ServiceConfig::stealing(3));
-    let tickets: Vec<u64> = cfgs.iter().map(|c| svc.submit(c.clone())).collect();
+    let svc = ServiceHandle::start(ServiceConfig::stealing(3)).expect("service start");
+    let tickets: Vec<u64> = cfgs
+        .iter()
+        .map(|c| svc.submit(c.clone()).expect("submit refused"))
+        .collect();
     for (k, (ticket, from_pool)) in tickets.iter().zip(&pooled).enumerate() {
         let done = svc
             .wait(*ticket)
@@ -241,4 +248,106 @@ fn uneven_stream_pooled_static_matches_service_stealing() {
         );
     }
     svc.shutdown();
+}
+
+// --- Ticket-lifecycle edges --------------------------------------------
+
+#[test]
+fn wait_on_consumed_ticket_returns_none_promptly() {
+    // A second wait on an already-taken ticket must not park until
+    // shutdown: the pending set says the ticket is neither queued nor
+    // running, so `wait` answers `None` immediately — even while the
+    // single worker is busy with a different session.
+    let svc = ServiceHandle::start(ServiceConfig::stealing(1)).expect("service start");
+    let cfg = session(SystemModel::NcpFe, |_| Behavior::Compliant, |_| FaultPlan::None);
+    let ticket = svc.submit(cfg.clone()).expect("submit refused");
+    let first = svc.wait(ticket).expect("first wait must yield the outcome");
+    first.outcome.expect("session must succeed");
+
+    // Keep the lone worker occupied so a buggy `wait` that parks on the
+    // results condvar would stay parked well past the assertion bound.
+    let busy = svc.submit(cfg).expect("submit refused");
+    let t0 = std::time::Instant::now();
+    assert!(
+        svc.wait(ticket).is_none(),
+        "consumed ticket must not resolve twice"
+    );
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "wait on a consumed ticket must return promptly, not park"
+    );
+    assert!(svc.try_take(ticket).is_none());
+    svc.wait(busy).expect("busy ticket resolves").outcome.expect("ok");
+    svc.shutdown();
+}
+
+#[test]
+fn try_take_racing_wait_yields_exactly_one_winner() {
+    let svc = std::sync::Arc::new(
+        ServiceHandle::start(ServiceConfig::stealing(2)).expect("service start"),
+    );
+    let cfg = session(SystemModel::NcpFe, |_| Behavior::Compliant, |_| FaultPlan::None);
+    for _ in 0..8 {
+        let ticket = svc.submit(cfg.clone()).expect("submit refused");
+        let waiter = {
+            let svc = std::sync::Arc::clone(&svc);
+            std::thread::spawn(move || svc.wait(ticket).is_some())
+        };
+        // Poll `try_take` against the blocked waiter until one side wins.
+        let mut took = false;
+        loop {
+            if svc.try_take(ticket).is_some() {
+                took = true;
+                break;
+            }
+            if waiter.is_finished() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let waited = waiter.join().expect("waiter must not panic");
+        assert!(
+            took ^ waited,
+            "exactly one of try_take/wait must win the ticket (took={took}, waited={waited})"
+        );
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn concurrent_submitters_during_shutdown_lose_no_accepted_ticket() {
+    use dls_protocol::service::SubmitError;
+    let svc = std::sync::Arc::new(
+        ServiceHandle::start(ServiceConfig::stealing(2)).expect("service start"),
+    );
+    let cfg = session(SystemModel::NcpFe, |_| Behavior::Compliant, |_| FaultPlan::None);
+    let mut submitters = Vec::new();
+    for _ in 0..4 {
+        let svc = std::sync::Arc::clone(&svc);
+        let cfg = cfg.clone();
+        submitters.push(std::thread::spawn(move || {
+            let mut accepted = Vec::new();
+            for _ in 0..6 {
+                match svc.submit(cfg.clone()) {
+                    Ok(t) => accepted.push(t),
+                    // The only admissible refusal mid-race is shutdown.
+                    Err(SubmitError::ShutDown) => break,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            accepted
+        }));
+    }
+    // Race shutdown against the submitters.
+    std::thread::yield_now();
+    svc.shutdown();
+    for s in submitters {
+        for ticket in s.join().expect("submitter must not panic") {
+            let done = svc.wait(ticket).unwrap_or_else(|| {
+                panic!("accepted ticket {ticket} was lost across shutdown")
+            });
+            done.outcome
+                .unwrap_or_else(|e| panic!("accepted ticket {ticket} failed: {e}"));
+        }
+    }
 }

@@ -494,6 +494,11 @@ impl Shared {
 
     /// Pushes a job onto worker `target`'s deque and wakes the pool.
     pub(crate) fn enqueue(&self, target: usize, job: Arc<Job>) {
+        debug_assert!(
+            target < self.queues.len(),
+            "enqueue target {target} out of range ({} queues): the job would be silently dropped",
+            self.queues.len()
+        );
         if let Some(q) = self.queues.get(target) {
             q.lock().push_back(job);
         }
@@ -831,9 +836,9 @@ impl Shared {
     /// when the whole service is idle. Exits once shutdown is flagged and
     /// no work is queued or in progress anywhere. Thread death (fault-
     /// injected or real) is observed by the armed [`DeathWatch`].
-    pub(crate) fn worker_loop(&self, w: usize) {
+    pub(crate) fn worker_loop(&self, w: usize, gen: u64) {
         let mut scratch = VmScratch::new();
-        let mut watch = DeathWatch::arm(self, w);
+        let mut watch = DeathWatch::arm(self, w, gen);
         loop {
             self.beat(w);
             let job = match self.placement {
@@ -893,6 +898,36 @@ impl Shared {
         let mut running = self.running.lock();
         let drained = std::mem::take(&mut *running);
         drained.into_values().map(|r| r.job).collect()
+    }
+
+    /// Runs one job in the calling thread and publishes its resolution
+    /// (shutdown inline drain).
+    fn resolve_inline(&self, job: Arc<Job>, scratch: &mut VmScratch) {
+        let outcome = drive_session(&job.cfg, scratch);
+        let attempts = job.attempts.fetch_add(1, Ordering::SeqCst).saturating_add(1);
+        self.publish(Completed {
+            ticket: job.ticket,
+            worker: usize::MAX,
+            latency_ns: job.enqueued.elapsed_ns(),
+            attempts,
+            outcome: outcome.map_err(ServiceError::Session),
+        });
+    }
+
+    /// Shutdown's last-resort drain: resolves, in the calling thread,
+    /// every job still registered in-progress or still queued. Runs after
+    /// the worker joins, when every slot may be dead — confiscated jobs
+    /// are therefore run directly rather than requeued (`requeue_away`
+    /// with zero live slots has no valid target and would drop the job,
+    /// stranding its ticket in `pending` forever).
+    pub(crate) fn drain_inline(&self) {
+        let mut scratch = VmScratch::new();
+        for job in self.confiscate_all_running() {
+            self.resolve_inline(job, &mut scratch);
+        }
+        while let Some(job) = self.pop_any() {
+            self.resolve_inline(job, &mut scratch);
+        }
     }
 
     /// Wakes every parked thread class (shutdown broadcast).
@@ -1129,21 +1164,7 @@ impl ServiceHandle {
         // Inline last-resort drain: anything still queued or registered
         // (all-workers-dead faults, late submit races) resolves here, in
         // the caller's thread, so acceptance always means resolution.
-        let mut scratch = VmScratch::new();
-        for job in shared.confiscate_all_running() {
-            shared.requeue_away(job, usize::MAX);
-        }
-        while let Some(job) = shared.pop_any() {
-            let outcome = drive_session(&job.cfg, &mut scratch);
-            let attempts = job.attempts.fetch_add(1, Ordering::SeqCst).saturating_add(1);
-            shared.publish(Completed {
-                ticket: job.ticket,
-                worker: usize::MAX,
-                latency_ns: job.enqueued.elapsed_ns(),
-                attempts,
-                outcome: outcome.map_err(ServiceError::Session),
-            });
-        }
+        shared.drain_inline();
         // Wake any waiter stuck on a ticket that will never complete.
         shared.results_cv.notify_all();
     }
@@ -1344,6 +1365,52 @@ mod tests {
         for t in retained {
             assert!(svc.wait(*t).is_some(), "retained ticket {t} must be takeable");
         }
+    }
+
+    #[test]
+    fn inline_drain_resolves_running_jobs_with_every_slot_dead() {
+        // A kill fault leaves its job registered in-progress on a dead
+        // worker. With supervision off and the pool's only worker dead,
+        // that registration can still be present at stop()'s post-join
+        // drain (a death landing after recover_all_dead's sweep); drive
+        // that drain directly and require the ticket to resolve instead
+        // of stranding in `pending` forever.
+        let plan = ServiceFaultPlan::default().with(ServiceFault::KillWorkerAtJob { nth_job: 0 });
+        let svc = start(ServiceConfig {
+            supervise: false,
+            fault_plan: plan,
+            ..ServiceConfig::stealing(1)
+        });
+        let t = svc.submit(cfg(70)).expect("admitted");
+        while svc.workers() != 0 {
+            std::thread::yield_now();
+        }
+        assert!(
+            !svc.shared.running_empty(),
+            "killed worker's job must stay registered"
+        );
+        svc.shared.shutdown.store(true, Ordering::SeqCst);
+        svc.shared.drain_inline();
+        let done = svc.wait(t).expect("confiscated job must resolve, not strand");
+        assert!(done.outcome.is_ok(), "drained session failed: {:?}", done.outcome);
+        assert_eq!(done.worker, usize::MAX, "resolved by the inline drain");
+    }
+
+    #[test]
+    fn stale_death_watch_cannot_hide_a_newer_occupant() {
+        let svc = start(ServiceConfig::stealing(1));
+        // Worker 0 runs at generation 1. Forge a watch from a previous
+        // occupant (generation 0) and drop it armed, as a stall-
+        // confiscated zombie's late exit would: the current occupant
+        // must stay visible to placement and keep a clean death stamp.
+        drop(DeathWatch::arm(&svc.shared, 0, 0));
+        assert!(svc.shared.slot_alive(0), "stale watch must not clear liveness");
+        assert_eq!(
+            svc.shared.slots[0].died_ns.load(Ordering::Acquire),
+            u64::MAX,
+            "stale watch must not stamp a death"
+        );
+        svc.shutdown();
     }
 
     #[test]

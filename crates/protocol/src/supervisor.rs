@@ -149,6 +149,12 @@ pub(crate) struct Slot {
     /// between jobs). Read by stall detection.
     pub(crate) beat: AtomicU64,
     pub(crate) died_ns: AtomicU64,
+    /// Occupancy generation, bumped on every spawn into the slot. A
+    /// [`DeathWatch`] captures it at arm time and refuses to touch the
+    /// slot once it has moved on, so a stall-confiscated zombie that
+    /// exits (or dies) later cannot clear the liveness of the worker
+    /// respawned into its slot.
+    pub(crate) generation: AtomicU64,
 }
 
 impl Slot {
@@ -157,6 +163,7 @@ impl Slot {
             alive: AtomicBool::new(false),
             beat: AtomicU64::new(0),
             died_ns: AtomicU64::new(u64::MAX),
+            generation: AtomicU64::new(0),
         }
     }
 }
@@ -165,25 +172,41 @@ impl Slot {
 /// disarms it; any other way out of the thread — the kill fault's abrupt
 /// return, or a real panic escaping the containment seam — drops it
 /// armed, which records the death and wakes the supervisor.
+///
+/// The watch carries the slot generation it was armed under and only
+/// updates the slot while that generation is current: after a stall
+/// confiscation respawns a replacement into the slot (bumping the
+/// generation), the stalled zombie's eventual disarm or death is stale
+/// bookkeeping and must not hide the healthy occupant.
 pub(crate) struct DeathWatch<'a> {
     shared: &'a Shared,
     w: usize,
+    gen: u64,
     armed: bool,
 }
 
 impl<'a> DeathWatch<'a> {
-    pub(crate) fn arm(shared: &'a Shared, w: usize) -> Self {
+    pub(crate) fn arm(shared: &'a Shared, w: usize, gen: u64) -> Self {
         DeathWatch {
             shared,
             w,
+            gen,
             armed: true,
         }
+    }
+
+    /// The watched slot, while this watch's generation is still current.
+    fn current_slot(&self) -> Option<&Slot> {
+        self.shared
+            .slots
+            .get(self.w)
+            .filter(|s| s.generation.load(Ordering::Acquire) == self.gen)
     }
 
     /// Clean exit: the slot goes not-alive with no death recorded.
     pub(crate) fn disarm(&mut self) {
         self.armed = false;
-        if let Some(s) = self.shared.slots.get(self.w) {
+        if let Some(s) = self.current_slot() {
             s.alive.store(false, Ordering::Release);
         }
     }
@@ -194,7 +217,7 @@ impl Drop for DeathWatch<'_> {
         if !self.armed {
             return;
         }
-        if let Some(s) = self.shared.slots.get(self.w) {
+        if let Some(s) = self.current_slot() {
             s.alive.store(false, Ordering::Release);
             s.died_ns
                 .store(self.shared.epoch.elapsed_ns(), Ordering::Release);
@@ -308,25 +331,6 @@ impl Shared {
             .unwrap_or(u64::MAX)
     }
 
-    /// Records a successful (re)spawn into slot `w`; if the slot had a
-    /// recorded death, folds the death→respawn latency into the stats.
-    fn note_spawned(&self, w: usize) {
-        if let Some(s) = self.slots.get(w) {
-            let died = s.died_ns.swap(u64::MAX, Ordering::AcqRel);
-            if died != u64::MAX {
-                let delta = self.epoch.elapsed_ns().saturating_sub(died);
-                self.stats.respawns.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .recovery_ns_total
-                    .fetch_add(delta, Ordering::Relaxed);
-                self.stats
-                    .recovery_ns_max
-                    .fetch_max(delta, Ordering::AcqRel);
-            }
-            s.alive.store(true, Ordering::Release);
-        }
-    }
-
     /// Records a failed spawn into slot `w`, preserving the original
     /// death stamp (recovery latency measures first-death→heal).
     fn mark_spawn_failure(&self, w: usize) {
@@ -357,18 +361,51 @@ impl Shared {
             self.mark_spawn_failure(w);
             return Err(());
         }
+        let Some(slot) = self.slots.get(w) else {
+            return Err(());
+        };
+        // Claim the slot before the thread exists: consume the death
+        // stamp, advance the generation (staling any DeathWatch a
+        // previous occupant still holds), and mark the slot alive. This
+        // must happen pre-spawn — the new thread may pop a job and die
+        // before `spawn` even returns here, and post-spawn bookkeeping
+        // would then erase that fresh death stamp, wedging the slot
+        // "alive" with no thread and no recorded death to sweep.
+        let died = slot.died_ns.swap(u64::MAX, Ordering::AcqRel);
+        let gen = slot.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        slot.alive.store(true, Ordering::Release);
         let shared = Arc::clone(self);
         match std::thread::Builder::new()
             .name(format!("dls-service-{w}"))
-            .spawn(move || shared.worker_loop(w))
+            .spawn(move || shared.worker_loop(w, gen))
         {
             Ok(h) => {
-                self.note_spawned(w);
+                if died != u64::MAX {
+                    let delta = self.epoch.elapsed_ns().saturating_sub(died);
+                    self.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .recovery_ns_total
+                        .fetch_add(delta, Ordering::Relaxed);
+                    self.stats
+                        .recovery_ns_max
+                        .fetch_max(delta, Ordering::AcqRel);
+                }
                 self.add_handle(h);
                 Ok(())
             }
             Err(_) => {
-                self.mark_spawn_failure(w);
+                // Undo the claim: the slot is still dead, and the
+                // original death stamp (if any) is restored so recovery
+                // latency keeps measuring first-death→heal across
+                // retried sweeps.
+                self.stats.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                slot.alive.store(false, Ordering::Release);
+                let stamp = if died != u64::MAX {
+                    died
+                } else {
+                    self.epoch.elapsed_ns()
+                };
+                slot.died_ns.store(stamp, Ordering::Release);
                 Err(())
             }
         }

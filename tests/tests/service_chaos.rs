@@ -154,6 +154,42 @@ fn static_shard_drains_after_respawn_without_shutdown_help() {
     svc.shutdown();
 }
 
+#[test]
+fn respawned_worker_killed_on_first_job_is_healed_again() {
+    // With one worker, each respawn's very first popped job is another
+    // kill: the death lands while (or before) the supervisor's spawn
+    // bookkeeping runs. The slot must come back sweepable every time —
+    // a death stamp erased by stale post-spawn bookkeeping would leave
+    // the slot "alive" with no thread and strand the whole queue.
+    let kills = 3u64;
+    let mut plan = ServiceFaultPlan::default();
+    for n in 0..kills {
+        plan = plan.with(ServiceFault::KillWorkerAtJob { nth_job: n });
+    }
+    let svc = ServiceHandle::start(ServiceConfig {
+        tick: Duration::from_millis(1),
+        fault_plan: plan,
+        ..ServiceConfig::stealing(1)
+    })
+    .expect("service start");
+    let cfgs: Vec<SessionConfig> = (0..4).map(|s| session(500 + s)).collect();
+    let tickets: Vec<u64> = cfgs
+        .iter()
+        .map(|c| svc.submit(c.clone()).expect("submit refused"))
+        .collect();
+    for (t, c) in tickets.iter().zip(&cfgs) {
+        assert_resolves_bit_exact(&svc, *t, c, "back-to-back-kills");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.killed, kills, "every planned kill must fire");
+    assert!(
+        stats.respawns >= kills,
+        "each killed occupant must be respawned (respawns={})",
+        stats.respawns
+    );
+    svc.shutdown();
+}
+
 // --- Stall detection ---------------------------------------------------
 
 #[test]

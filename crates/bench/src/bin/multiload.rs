@@ -1,0 +1,56 @@
+//! Multi-load amortization benchmark harness:
+//! `cargo run --release --bin multiload`.
+//!
+//! Writes `BENCH_multiload.json` (schema `dls-bench-multiload-v1`) in the
+//! current directory and prints the headline splice-vs-resolve speedups
+//! at every `(model, m, k)`. Flags:
+//!
+//! * `--quick` — the seconds-scale subset used by the schema test
+//! * `--out <path>` — write the JSON somewhere else
+
+use dls_bench::multiload::{render_json, run_sweep, splice_speedup, MultiloadConfig};
+
+fn main() {
+    let mut cfg = MultiloadConfig::full();
+    let mut out = String::from("BENCH_multiload.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = MultiloadConfig::quick(),
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other}; supported: --quick, --out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let entries = match run_sweep(&cfg) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = render_json(&cfg, &entries);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    println!("wrote {out} ({} entries)", entries.len());
+    for model in ["cp", "ncp-fe", "ncp-nfe"] {
+        for &m in &cfg.m_sizes {
+            for &k in &cfg.k_sizes {
+                if let Some(s) = splice_speedup(&entries, model, m, k) {
+                    println!("{model:8} m={m:5} k={k:3} splice vs k-solves: {s:.2}x");
+                }
+            }
+        }
+    }
+}

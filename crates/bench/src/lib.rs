@@ -6,10 +6,12 @@
 //! `BENCH_throughput.json`; [`sessions`] hosts the protocol-session sweep
 //! behind the committed `BENCH_sessions.json`; [`service`] hosts the
 //! always-on service tail-latency sweep behind the committed
-//! `BENCH_service.json`.
+//! `BENCH_service.json`; [`multiload`] hosts the k-load amortization
+//! sweep behind the committed `BENCH_multiload.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+pub mod multiload;
 pub mod payments;
 pub mod service;
 pub mod sessions;

@@ -1,0 +1,465 @@
+//! Multi-load amortization sweep: the data source for
+//! `BENCH_multiload.json`.
+//!
+//! The headline question: what does keeping `k` per-load chain states
+//! warm buy over re-solving `k` independent markets on every bid
+//! revision? Three auction-layer paths replay the same frozen
+//! `(position, rate)` update schedule on the same `k`-load session
+//! ([`dls_mechanism::MultiLoadEngine`]), re-pricing **all `k` loads**
+//! after every update:
+//!
+//! * `"splice"` — the engine hot path
+//!   ([`dls_mechanism::MultiLoadEngine::submit_bid`]): one O(m − i)
+//!   chain-suffix splice per load, two divisions each, then `k` O(1)
+//!   makespan quotes from the cached products.
+//! * `"rebuild"` — the in-place fallback
+//!   ([`dls_mechanism::MultiLoadEngine::submit_bid_rebuild`]): `k` full
+//!   chain rebuilds over retained arenas (disclosed intermediate —
+//!   isolates the splice from allocation effects).
+//! * `"resolve"` — the **k-independent-solves baseline**: the pre-engine
+//!   one-shot pipeline per load — fresh [`BusParams`] +
+//!   [`dls_dlt::optimal::optimal_makespan`] for each of the `k` loads on
+//!   every update, re-validating and re-allocating each market, exactly
+//!   the `"full-recompute"` idiom of the throughput sweep × `k`.
+//!
+//! The committed regression gate (`tests/tests/scaling.rs`) pins
+//! `"splice"` ≥ 3× `"resolve"` in loads/sec at `k = 64`.
+//!
+//! A fourth family, `"session-vm"`, prices the protocol layer: a full
+//! [`dls_protocol::MultiLoadSession`] (keys, signed bids, referee,
+//! ledger) through the shared `drive_session` seam, per-load latency and
+//! loads/sec at small `k` — the end-to-end cost the auction-layer
+//! amortization sits inside.
+//!
+//! Workloads are the frozen [`crate::workloads::quantized_rates`]
+//! splitmix64 streams (dyadic rates and per-load intensities);
+//! protocol-level cells warm the process-wide crypto caches through
+//! [`crate::workloads::warm_session_caches`] first. This module is
+//! covered by the workspace no-panic lint gate: measurement never
+//! unwraps; errors propagate as `String` like the other protocol-level
+//! harnesses.
+
+use std::time::Instant;
+
+use dls_dlt::multiload::LoadSpec;
+use dls_dlt::{optimal, BusParams, ALL_MODELS};
+use dls_mechanism::MultiLoadEngine;
+use dls_protocol::config::{Behavior, ProcessorConfig};
+use dls_protocol::MultiLoadSession;
+
+use crate::payments::model_slug;
+use crate::workloads::{quantized_rates, splitmix64, warm_session_caches};
+
+/// Schema identifier written into the JSON header; bump when the layout
+/// of the file changes incompatibly.
+pub const SCHEMA: &str = "dls-bench-multiload-v1";
+
+/// Everything that determines a multiload sweep; reproducible from the
+/// config alone (wall-clock numbers aside).
+#[derive(Debug, Clone)]
+pub struct MultiloadConfig {
+    /// splitmix64 seed for rates, load specs and update schedules.
+    pub seed: u64,
+    /// Lower bound of the log-uniform bid range.
+    pub lo: f64,
+    /// Upper bound of the log-uniform bid range.
+    pub hi: f64,
+    /// Bids, load sizes and intensities are quantized to `1/denom`.
+    pub denom: u32,
+    /// Market sizes for the auction-layer cells.
+    pub m_sizes: Vec<usize>,
+    /// Loads-per-session counts for the auction-layer cells.
+    pub k_sizes: Vec<usize>,
+    /// Bid updates timed per measurement block.
+    pub updates_per_block: usize,
+    /// Per-cell time budget in nanoseconds (min-of-reps, at least two).
+    pub target_ns_per_cell: u128,
+    /// Loads-per-session counts for the protocol-level cells.
+    pub session_k: Vec<usize>,
+    /// Processors in the protocol-level cells.
+    pub session_m: usize,
+    /// Blocks per load in the protocol-level cells.
+    pub session_blocks: usize,
+}
+
+impl MultiloadConfig {
+    /// The full sweep behind the committed `BENCH_multiload.json`.
+    pub fn full() -> Self {
+        MultiloadConfig {
+            seed: 42,
+            lo: 1.0,
+            hi: 8.0,
+            denom: 64,
+            m_sizes: vec![64, 1024],
+            k_sizes: vec![1, 8, 64],
+            updates_per_block: 256,
+            target_ns_per_cell: 250_000_000,
+            session_k: vec![1, 8],
+            session_m: 3,
+            session_blocks: 30,
+        }
+    }
+
+    /// A seconds-scale subset used by the tier-1 schema/regression test
+    /// (keeps `k = 64` so the splice-vs-resolve comparison stays
+    /// meaningful at test time).
+    pub fn quick() -> Self {
+        MultiloadConfig {
+            m_sizes: vec![16, 256],
+            k_sizes: vec![1, 8, 64],
+            updates_per_block: 32,
+            target_ns_per_cell: 2_000_000,
+            session_k: vec![1, 2],
+            session_blocks: 12,
+            ..MultiloadConfig::full()
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct MultiloadEntry {
+    /// Model slug: `"cp"`, `"ncp-fe"`, or `"ncp-nfe"`.
+    pub model: &'static str,
+    /// Market size (processors).
+    pub m: usize,
+    /// Loads per session.
+    pub k: usize,
+    /// Path slug: `"splice"`, `"rebuild"`, `"resolve"`, or
+    /// `"session-vm"`.
+    pub path: &'static str,
+    /// Operations per timed block: bid updates for the auction paths,
+    /// whole-session runs for `"session-vm"`.
+    pub ops: usize,
+    /// Best-of-reps wall-clock per operation, nanoseconds (one update
+    /// re-pricing all `k` loads, or one full k-load session).
+    pub ns_per_op: f64,
+    /// Per-load share of `ns_per_op` (`ns_per_op / k`) — the per-load
+    /// latency figure.
+    pub per_load_ns: f64,
+    /// Derived rate: loads re-priced (or executed) per second,
+    /// `k × ops / elapsed`, rounded to the nearest integer.
+    pub loads_per_sec: u128,
+}
+
+/// The frozen `k` load specs for a session: sizes log-uniform in
+/// `[1/2, 2)`, bus intensities log-uniform in `[1/16, 1/2)`, both dyadic.
+pub fn load_specs(cfg: &MultiloadConfig, k: usize) -> Vec<LoadSpec> {
+    let sizes = quantized_rates(k, 0.5, 2.0, cfg.seed.wrapping_add(0x10ad), cfg.denom);
+    let zs = quantized_rates(k, 0.0625, 0.5, cfg.seed.wrapping_add(0xb005), cfg.denom);
+    sizes
+        .iter()
+        .zip(&zs)
+        .map(|(&size, &z)| LoadSpec::new(size, z))
+        .collect()
+}
+
+/// The frozen `(position, new_rate)` update schedule replayed by all
+/// three auction paths (same construction as the throughput sweep).
+pub fn update_schedule(cfg: &MultiloadConfig, m: usize) -> Vec<(usize, f64)> {
+    let rates = quantized_rates(
+        cfg.updates_per_block,
+        cfg.lo,
+        cfg.hi,
+        cfg.seed.wrapping_add(0x5eed),
+        cfg.denom,
+    );
+    let mut state = cfg.seed.wrapping_add(0xb1d5);
+    rates
+        .iter()
+        .map(|&r| ((splitmix64(&mut state) as usize) % m, r))
+        .collect()
+}
+
+/// Times `op` with a min-of-reps loop: at least two repetitions,
+/// stopping once `target_ns` total has elapsed or 64 reps have run.
+fn time_ns<R>(target_ns: u128, mut op: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut reps: u32 = 0;
+    let mut total: u128 = 0;
+    let mut last;
+    loop {
+        let t0 = Instant::now();
+        last = op();
+        let dt = t0.elapsed().as_nanos();
+        best = best.min(dt);
+        total += dt;
+        reps += 1;
+        if reps >= 2 && (total >= target_ns || reps >= 64) {
+            return (best, last);
+        }
+    }
+}
+
+fn loads_per_sec(loads: u128, ns: u128) -> u128 {
+    if ns == 0 {
+        return 0;
+    }
+    (loads as f64 * 1e9 / ns as f64).round() as u128
+}
+
+/// The protocol-level k-load session for one `"session-vm"` cell:
+/// compliant `session_m`-processor market, load `ℓ` alternating between
+/// two dyadic bus intensities.
+pub fn session_workload(cfg: &MultiloadConfig, k: usize) -> Result<MultiLoadSession, String> {
+    let rates = quantized_rates(cfg.session_m, cfg.lo, cfg.hi, cfg.seed, cfg.denom);
+    let mut b = MultiLoadSession::builder(dls_dlt::SystemModel::NcpFe)
+        .processors(
+            rates
+                .iter()
+                .map(|&w| ProcessorConfig::new(w, Behavior::Compliant)),
+        )
+        .seed(cfg.seed);
+    for l in 0..k {
+        let z = if l % 2 == 0 { 0.25 } else { 0.125 };
+        b = b.load(z, cfg.session_blocks);
+    }
+    b.build().map_err(|e| format!("session workload: {e}"))
+}
+
+/// Runs the whole sweep, emitting progress on stderr.
+pub fn run_sweep(cfg: &MultiloadConfig) -> Result<Vec<MultiloadEntry>, String> {
+    let mut entries = Vec::new();
+
+    // --- Auction layer: splice vs rebuild vs k independent solves -----
+    for &model in &ALL_MODELS {
+        let slug = model_slug(model);
+        for &m in &cfg.m_sizes {
+            let bids = quantized_rates(m, cfg.lo, cfg.hi, cfg.seed, cfg.denom);
+            let schedule = update_schedule(cfg, m);
+            let updates = schedule.len();
+            if updates == 0 {
+                continue;
+            }
+            for &k in &cfg.k_sizes {
+                if k == 0 {
+                    continue;
+                }
+                let loads = load_specs(cfg, k);
+                for path in ["splice", "rebuild", "resolve"] {
+                    let mut engine = MultiLoadEngine::new(model, &bids, &loads)
+                        .map_err(|e| format!("engine setup: {e}"))?;
+                    let mut bids_now = bids.clone();
+                    let (ns_block, last) = time_ns(cfg.target_ns_per_cell, || {
+                        let mut acc = 0.0;
+                        for &(i, r) in &schedule {
+                            match path {
+                                "rebuild" => {
+                                    engine
+                                        .submit_bid_rebuild(i, r)
+                                        .map_err(|e| format!("rebuild: {e}"))?;
+                                    for l in 0..k {
+                                        acc += engine
+                                            .load_makespan(l)
+                                            .map_err(|e| format!("quote: {e}"))?;
+                                    }
+                                }
+                                "resolve" => {
+                                    // k independent from-scratch solves:
+                                    // the pre-engine one-shot pipeline
+                                    // per load on every update.
+                                    if let Some(slot) = bids_now.get_mut(i) {
+                                        *slot = r;
+                                    }
+                                    for spec in &loads {
+                                        let params =
+                                            BusParams::new(spec.z, bids_now.clone())
+                                                .map_err(|e| format!("resolve: {e}"))?;
+                                        acc += spec.size
+                                            * optimal::optimal_makespan(model, &params);
+                                    }
+                                }
+                                _ => {
+                                    engine
+                                        .submit_bid(i, r)
+                                        .map_err(|e| format!("splice: {e}"))?;
+                                    for l in 0..k {
+                                        acc += engine
+                                            .load_makespan(l)
+                                            .map_err(|e| format!("quote: {e}"))?;
+                                    }
+                                }
+                            }
+                        }
+                        Ok::<f64, String>(std::hint::black_box(acc))
+                    });
+                    last?;
+                    let ns = ns_block as f64 / updates as f64;
+                    let per_load = ns / k as f64;
+                    let rate = loads_per_sec((k * updates) as u128, ns_block);
+                    eprintln!(
+                        "{slug:8} m={m:5} k={k:3} {path:<10} {ns:>14.1} ns/update  {per_load:>12.1} ns/load  {rate:>10} loads/s"
+                    );
+                    entries.push(MultiloadEntry {
+                        model: slug,
+                        m,
+                        k,
+                        path,
+                        ops: updates,
+                        ns_per_op: ns,
+                        per_load_ns: per_load,
+                        loads_per_sec: rate,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Protocol layer: full k-load sessions through drive_session ---
+    for &k in &cfg.session_k {
+        if k == 0 {
+            continue;
+        }
+        let ml = session_workload(cfg, k)?;
+        warm_session_caches(ml.sessions(), 1)?;
+        let (ns_block, last) = time_ns(cfg.target_ns_per_cell, || {
+            let out = ml.run_vm();
+            if out.all_completed() {
+                Ok(std::hint::black_box(out.k()))
+            } else {
+                Err("multi-load session did not complete".to_string())
+            }
+        });
+        last?;
+        let ns = ns_block as f64;
+        let per_load = ns / k as f64;
+        let rate = loads_per_sec(k as u128, ns_block);
+        eprintln!(
+            "ncp-fe   m={:5} k={k:3} session-vm {ns:>14.1} ns/session {per_load:>12.1} ns/load  {rate:>10} loads/s",
+            cfg.session_m
+        );
+        entries.push(MultiloadEntry {
+            model: "ncp-fe",
+            m: cfg.session_m,
+            k,
+            path: "session-vm",
+            ops: 1,
+            ns_per_op: ns,
+            per_load_ns: per_load,
+            loads_per_sec: rate,
+        });
+    }
+
+    Ok(entries)
+}
+
+/// Speedup of the `"splice"` path over the `"resolve"`
+/// (k-independent-solves) baseline at `(model, m, k)`, in loads/sec;
+/// `None` when either entry is missing.
+pub fn splice_speedup(
+    entries: &[MultiloadEntry],
+    model: &str,
+    m: usize,
+    k: usize,
+) -> Option<f64> {
+    let find = |path: &str| {
+        entries
+            .iter()
+            .find(|e| e.model == model && e.m == m && e.k == k && e.path == path)
+            .map(|e| e.ns_per_op)
+    };
+    let (splice, resolve) = (find("splice")?, find("resolve")?);
+    if splice <= 0.0 {
+        return None;
+    }
+    Some(resolve / splice)
+}
+
+/// Renders the sweep as the committed `BENCH_multiload.json` document.
+/// Hand-rolled writer (the workspace deliberately has no JSON
+/// dependency); all dynamic values are integers and short slugs, so
+/// escaping is not needed.
+pub fn render_json(cfg: &MultiloadConfig, entries: &[MultiloadEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"seed\": {}, \"lo\": {:?}, \"hi\": {:?}, \"denom\": {}, \"updates_per_block\": {}, \"session_m\": {}, \"session_blocks\": {}}},\n",
+        cfg.seed, cfg.lo, cfg.hi, cfg.denom, cfg.updates_per_block, cfg.session_m, cfg.session_blocks
+    ));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"m\": {}, \"k\": {}, \"path\": \"{}\", \"ops\": {}, \"ns_per_op\": {:?}, \"per_load_ns\": {:?}, \"loads_per_sec\": {}}}{sep}\n",
+            e.model, e.m, e.k, e.path, e.ops, e.ns_per_op, e.per_load_ns, e.loads_per_sec
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_specs_are_deterministic_dyadic_and_valid() {
+        let cfg = MultiloadConfig::quick();
+        let a = load_specs(&cfg, 64);
+        assert_eq!(a.len(), 64);
+        let b = load_specs(&cfg, 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.size.to_bits(), y.size.to_bits());
+            assert_eq!(x.z.to_bits(), y.z.to_bits());
+        }
+        for spec in &a {
+            assert!(spec.size > 0.0 && spec.size <= 2.5);
+            assert!(spec.z > 0.0 && spec.z <= 0.75);
+            let scaled = spec.z * cfg.denom as f64;
+            assert_eq!(scaled, scaled.round(), "z not dyadic: {}", spec.z);
+        }
+    }
+
+    #[test]
+    fn update_schedule_is_deterministic_and_in_range() {
+        let cfg = MultiloadConfig::quick();
+        let s1 = update_schedule(&cfg, 256);
+        assert_eq!(s1, update_schedule(&cfg, 256));
+        assert_eq!(s1.len(), cfg.updates_per_block);
+        for &(i, r) in &s1 {
+            assert!(i < 256);
+            assert!(r.is_finite() && r > 0.0);
+        }
+    }
+
+    #[test]
+    fn render_json_has_schema_and_balanced_braces() {
+        let cfg = MultiloadConfig::quick();
+        let entries = vec![MultiloadEntry {
+            model: "cp",
+            m: 16,
+            k: 8,
+            path: "splice",
+            ops: 32,
+            ns_per_op: 420.5,
+            per_load_ns: 52.5625,
+            loads_per_sec: 19_024_970,
+        }];
+        let json = render_json(&cfg, &entries);
+        assert!(json.contains("\"schema\": \"dls-bench-multiload-v1\""));
+        assert!(json.contains("\"path\": \"splice\""));
+        assert!(json.contains("\"ns_per_op\": 420.5"));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(opens, 3, "root + config + one entry");
+    }
+
+    #[test]
+    fn splice_speedup_reads_matching_entries() {
+        let mk = |path: &'static str, ns: f64| MultiloadEntry {
+            model: "cp",
+            m: 1024,
+            k: 64,
+            path,
+            ops: 32,
+            ns_per_op: ns,
+            per_load_ns: ns / 64.0,
+            loads_per_sec: 0,
+        };
+        let entries = vec![mk("splice", 100.0), mk("resolve", 700.0)];
+        assert_eq!(splice_speedup(&entries, "cp", 1024, 64), Some(7.0));
+        assert_eq!(splice_speedup(&entries, "cp", 1024, 8), None);
+        assert_eq!(splice_speedup(&entries, "ncp-fe", 1024, 64), None);
+    }
+}

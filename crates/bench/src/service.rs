@@ -479,17 +479,11 @@ fn calibrate_capacity(cfg: &ServiceBenchConfig, mix: &'static str) -> Result<f64
 /// the same steady state as the last — cells are single timed streams, so
 /// unlike a min-of-reps harness nothing else hides the warmup.
 fn warm_caches(cfg: &ServiceBenchConfig) -> Result<(), String> {
-    for (mix, k) in [
-        ("uniform", 0),
-        ("skewed", cfg.heavy_period.saturating_sub(1)),
-    ] {
-        let session = stream_session(cfg, mix, k)?;
-        for _ in 0..2 {
-            dls_protocol::run_session_vm(&session)
-                .map_err(|e| format!("warmup session ({mix}) failed: {e}"))?;
-        }
-    }
-    Ok(())
+    let sessions = vec![
+        stream_session(cfg, "uniform", 0)?,
+        stream_session(cfg, "skewed", cfg.heavy_period.saturating_sub(1))?,
+    ];
+    crate::workloads::warm_session_caches(&sessions, 2)
 }
 
 /// Runs the whole sweep, emitting progress on stderr.

@@ -271,6 +271,15 @@ fn sessions_per_sec(sessions: u128, ns: u128) -> u128 {
 /// Runs the whole sweep, emitting progress on stderr.
 pub fn run_sweep(cfg: &SessionsConfig) -> Result<Vec<SessionsEntry>, String> {
     let mut entries = Vec::new();
+    // Warm the process-wide crypto caches with one session per market
+    // size before timing; min-of-reps would hide the one-time keygen
+    // anyway, but paying it outside the timed region keeps every rep of
+    // the first cell comparable to the last.
+    let mut warmups = Vec::new();
+    for &m in &cfg.m_sizes {
+        warmups.extend(session_batch(cfg, m, 1, CryptoProfile::Amortized)?);
+    }
+    crate::workloads::warm_session_caches(&warmups, 1)?;
     for &m in &cfg.m_sizes {
         for &batch in &cfg.batch_sizes {
             if batch == 0 {

@@ -62,10 +62,15 @@ pub mod exact;
 pub mod linear;
 pub mod loo;
 mod model;
+pub mod multiload;
 pub mod optimal;
 
 pub use chain::ChainState;
 pub use loo::LeaveOneOut;
+pub use multiload::{
+    pipeline_schedule, pipeline_schedule_exact, InstallmentScheduler, LoadSpec, MultiLoadError,
+    PipelineSchedule,
+};
 pub use model::{
     finish_times, finish_times_into, makespan, BusParams, ParamError, SystemModel, ALL_MODELS,
 };

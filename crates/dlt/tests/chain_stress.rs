@@ -1,0 +1,121 @@
+//! Long-horizon splice stress: ~10⁴ random `update_bid` calls per model,
+//! interleaved across all three bus models from one frozen update stream,
+//! asserting bit-exact agreement with `update_bid_rebuild` (and with a
+//! from-scratch `ChainState::new`) at every step.
+//!
+//! The short differential sweeps pin splice == rebuild over dozens of
+//! updates; the multi-load installment scheduler leans on the stronger
+//! claim that a chain spliced *thousands* of times never drifts from the
+//! from-scratch solve by even one ULP — identical expressions evaluated
+//! in identical order, forever. This test is that claim, executable.
+
+use dls_dlt::{BusParams, ChainState, ALL_MODELS};
+
+/// splitmix64 (Steele, Lea & Flood 2014) — frozen, dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Dyadic rate in [1/8, 8]: `j/8` with `j` uniform in `1..=64`.
+fn dyadic_rate(state: &mut u64) -> f64 {
+    ((splitmix64(state) % 64) + 1) as f64 / 8.0
+}
+
+/// Update position biased toward the special splice slots: head (i = 0),
+/// tail (i = m−1) and second-to-last each get ~1/8 of the stream, the
+/// rest is uniform.
+fn position(state: &mut u64, m: usize) -> usize {
+    match splitmix64(state) % 8 {
+        0 => 0,
+        1 => m - 1,
+        2 => m.saturating_sub(2),
+        _ => (splitmix64(state) as usize) % m,
+    }
+}
+
+#[test]
+fn ten_thousand_splices_stay_bit_exact_across_models() {
+    const M: usize = 97;
+    const STEPS: usize = 10_000;
+    // How often to cross-check against a from-scratch solve on the
+    // current rates (every step would be O(steps·m²) pointless work; the
+    // rebuild twin already re-derives everything every step).
+    const FRESH_EVERY: usize = 500;
+
+    let mut state = 0xc0ffee_u64;
+    let init: Vec<f64> = (0..M).map(|_| dyadic_rate(&mut state)).collect();
+    let params = BusParams::new(0.125, init.clone()).unwrap();
+
+    // One chain pair per model, all fed from the single interleaved
+    // update stream below.
+    let mut pairs: Vec<_> = ALL_MODELS
+        .iter()
+        .map(|&model| {
+            (
+                model,
+                ChainState::new(model, &params),
+                ChainState::new(model, &params),
+                init.clone(),
+            )
+        })
+        .collect();
+
+    let mut inc_frac = Vec::new();
+    let mut ref_frac = Vec::new();
+    for step in 0..STEPS {
+        // Interleave: each step updates exactly one model's pair, cycling
+        // through models while drawing from the shared stream.
+        let slot = step % pairs.len();
+        let (model, inc, refc, rates) = &mut pairs[slot];
+        let i = position(&mut state, M);
+        let w = dyadic_rate(&mut state);
+        inc.update_bid(i, w);
+        refc.update_bid_rebuild(i, w);
+        rates[i] = w;
+
+        assert_eq!(
+            inc.optimal_makespan().to_bits(),
+            refc.optimal_makespan().to_bits(),
+            "{model} step {step}: makespan drifted"
+        );
+        inc.fractions_into(&mut inc_frac);
+        refc.fractions_into(&mut ref_frac);
+        for (j, (a, b)) in inc_frac.iter().zip(&ref_frac).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{model} step {step}: fraction {j} drifted"
+            );
+        }
+        // Leave-one-out quotes exercise the lazy suffix path, including
+        // the head/tail/NFE-originator special splices.
+        for probe in [0, i, M - 1] {
+            assert_eq!(
+                inc.makespan_without(probe).map(f64::to_bits),
+                refc.makespan_without(probe).map(f64::to_bits),
+                "{model} step {step}: makespan_without({probe}) drifted"
+            );
+        }
+
+        if step % FRESH_EVERY == FRESH_EVERY - 1 {
+            let fresh = ChainState::new(*model, &BusParams::new(0.125, rates.clone()).unwrap());
+            assert_eq!(
+                inc.optimal_makespan().to_bits(),
+                fresh.optimal_makespan().to_bits(),
+                "{model} step {step}: drifted from from-scratch solve"
+            );
+            fresh.fractions_into(&mut ref_frac);
+            for (j, (a, b)) in inc_frac.iter().zip(&ref_frac).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{model} step {step}: fraction {j} drifted from fresh"
+                );
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@ const WALLCLOCK_SCOPE_FILES: &[&str] = &[
     "crates/protocol/src/runtime.rs",
     "crates/protocol/src/service.rs",
     "crates/protocol/src/supervisor.rs",
+    "crates/protocol/src/multiload.rs",
     "crates/crypto/src/canon.rs",
 ];
 const WALLCLOCK_SCOPE_PREFIXES: &[&str] = &[

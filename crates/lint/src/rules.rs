@@ -52,9 +52,10 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! and \
          slice indexing are forbidden in protocol hot paths \
          (protocol/src/{runtime,referee,ledger,messages,fault,config,\
-         executor,sched,service}.rs, mechanism/src/{engine,batch}.rs, \
-         bench/src/{throughput,sessions,service}.rs); a malformed message \
-         must \
+         executor,sched,service,multiload}.rs, \
+         mechanism/src/{engine,batch,multiload}.rs, dlt/src/multiload.rs, \
+         bench/src/{throughput,sessions,service,multiload}.rs); a malformed \
+         message must \
          yield a typed error, not a crashed session (Lemma 5.1)",
     ),
     (
@@ -133,7 +134,11 @@ pub fn float_rule_applies(rel_path: &str) -> bool {
 /// The always-on service (`service.rs`) is the strongest case of all: its
 /// workers outlive any one session, so a panic kills capacity for every
 /// future submission; its bench harness (`bench/src/service.rs`) rides
-/// along like the sessions sweep.
+/// along like the sessions sweep. The multi-load installment stack
+/// (`dlt/src/multiload.rs`, `mechanism/src/multiload.rs`,
+/// `protocol/src/multiload.rs`, `bench/src/multiload.rs`) qualifies end to
+/// end: one k-load session splices k chains per bid update, so a panic in
+/// any layer aborts every in-flight load of the session at once.
 pub fn panic_rule_applies(rel_path: &str) -> bool {
     matches!(
         rel_path,
@@ -152,6 +157,10 @@ pub fn panic_rule_applies(rel_path: &str) -> bool {
             | "crates/protocol/src/service.rs"
             | "crates/protocol/src/supervisor.rs"
             | "crates/bench/src/service.rs"
+            | "crates/dlt/src/multiload.rs"
+            | "crates/mechanism/src/multiload.rs"
+            | "crates/protocol/src/multiload.rs"
+            | "crates/bench/src/multiload.rs"
     )
 }
 

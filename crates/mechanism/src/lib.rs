@@ -58,10 +58,12 @@ pub mod batch;
 pub mod engine;
 pub mod exact;
 mod market;
+pub mod multiload;
 pub mod validate;
 
 pub use batch::{BatchAuctioneer, BatchOutcome, BatchReport, BatchWorkload, MarketFailure};
 pub use engine::{AuctionEngine, EngineError, Evaluation};
+pub use multiload::{MultiLoadEngine, MultiLoadMarket, MultiLoadOutcome, MultiMarketError};
 pub use market::{
     compute_payments, compute_payments_into, compute_payments_naive, AgentSpec, Market,
     MarketError, MechanismOutcome, Payment, PaymentScratch,

@@ -73,6 +73,7 @@ pub mod executor;
 pub mod fault;
 pub mod ledger;
 pub mod messages;
+pub mod multiload;
 pub mod referee;
 pub mod runtime;
 pub mod sched;
@@ -81,6 +82,9 @@ pub mod supervisor;
 
 pub use config::{Behavior, ProcessorConfig, SessionConfig};
 pub use executor::{run_session_pooled, run_session_pooled_with, run_session_vm, ProcessorState};
+pub use multiload::{
+    MultiLoadSession, MultiLoadSessionBuilder, MultiSessionError, MultiSessionOutcome,
+};
 pub use service::{
     AdmissionPolicy, Completed, Placement, ServiceConfig, ServiceError, ServiceHandle, StartError,
     SubmitError,

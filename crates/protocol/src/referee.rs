@@ -381,10 +381,6 @@ mod tests {
 
     struct Fixture {
         keys: Vec<KeyPair>,
-        #[allow(dead_code)]
-        user: KeyPair,
-        #[allow(dead_code)]
-        registry: Registry,
         referee: Referee,
         dataset: DataSet,
         bids: Vec<f64>,
@@ -399,12 +395,10 @@ mod tests {
             .collect();
         let user = KeyPair::generate(USER_IDENTITY, MIN_MODULUS_BITS, &mut rng).unwrap();
         let registry = Registry::from_keypairs(keys.iter().chain(std::iter::once(&user)));
-        let referee = Referee::new(registry.clone(), model, 0.2, 3, 10.0, BLOCKS);
+        let referee = Referee::new(registry, model, 0.2, 3, 10.0, BLOCKS);
         let dataset = DataSet::prepare(&user, BLOCKS, 8).unwrap();
         Fixture {
             keys,
-            user,
-            registry,
             referee,
             dataset,
             bids: vec![1.0, 2.0, 3.0],
